@@ -1,0 +1,66 @@
+//===- bench/ablation_marker_period.cpp - Marker period sweep ----------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// The paper: "n is a parameter best chosen to balance the gains of
+// information reuse against the cost of the bookkeeping. ... Our tests use
+// a value of n = 25." This ablation sweeps n over the deep-stack programs
+// and reports GC time, the frame-reuse rate, and stub activity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Table.h"
+
+using namespace tilgc;
+using namespace tilgc::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  printBanner("Ablation: stack-marker period n (paper §5), k = 4", Scale);
+
+  const unsigned Periods[] = {5, 10, 25, 50, 100, 200};
+
+  for (const char *Name : {"Knuth-Bendix", "Color", "Lexgen"}) {
+    Workload *W = findWorkload(Name);
+    if (!W)
+      continue;
+    Table T(formatString("%s: marker period sweep", Name));
+    T.setHeader({"n", "GC", "stack", "frames scanned", "frames reused",
+                 "reused%"});
+
+    MutatorConfig Base = configFor(CollectorKind::Generational, 4.0, *W,
+                                   Scale);
+    Measurement Off = runWorkload(*W, Base, Scale);
+    T.addRow({"off", checked(Off, sec(Off.GcSec)), sec(Off.StackSec),
+              formatString("%llu", (unsigned long long)Off.FramesScanned),
+              "0", "0.0%"});
+
+    auto AddRow = [&](const char *Label, const MutatorConfig &C) {
+      Measurement M = runWorkload(*W, C, Scale);
+      double Reused =
+          100.0 * static_cast<double>(M.FramesReused) /
+          static_cast<double>(M.FramesReused + M.FramesScanned + 1);
+      T.addRow({Label, checked(M, sec(M.GcSec)), sec(M.StackSec),
+                formatString("%llu", (unsigned long long)M.FramesScanned),
+                formatString("%llu", (unsigned long long)M.FramesReused),
+                formatString("%.1f%%", Reused)});
+    };
+    for (unsigned N : Periods) {
+      MutatorConfig C = Base;
+      C.UseStackMarkers = true;
+      C.MarkerPeriod = N;
+      AddRow(formatString("%u", N).c_str(), C);
+    }
+    {
+      // §7.1: "a more dynamic policy of marker placement".
+      MutatorConfig C = Base;
+      C.UseStackMarkers = true;
+      C.AdaptiveMarkerPlacement = true;
+      AddRow("adaptive", C);
+    }
+    T.print(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+//===- bench/micro_gc.cpp - Microbenchmarks (google-benchmark) ---------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Microbenchmarks for the primitive costs behind the tables: allocation
+// sequences, write-barrier flavors, and the stack-scan cost as a function
+// of depth — with and without generational stack collection, which is the
+// per-collection cost Table 5 aggregates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutator.h"
+
+#include "workloads/MLLib.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+namespace {
+
+uint32_t microSite() {
+  static const uint32_t S = AllocSiteRegistry::global().define("micro.site");
+  return S;
+}
+
+uint32_t microKey() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "micro.frame",
+      {Trace::pointer(), Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+
+MutatorConfig genConfig() {
+  MutatorConfig C;
+  C.Kind = CollectorKind::Generational;
+  C.BudgetBytes = 64u << 20;
+  return C;
+}
+
+void BM_AllocRecordGenerational(benchmark::State &State) {
+  Mutator M(genConfig());
+  Frame F(M, microKey());
+  for (auto _ : State) {
+    F.set(1, M.allocRecord(microSite(), 2, 0b10));
+    benchmark::DoNotOptimize(F.get(1).bits());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AllocRecordGenerational);
+
+void BM_AllocRecordSemispace(benchmark::State &State) {
+  MutatorConfig C;
+  C.Kind = CollectorKind::Semispace;
+  C.BudgetBytes = 64u << 20;
+  Mutator M(C);
+  Frame F(M, microKey());
+  for (auto _ : State) {
+    F.set(1, M.allocRecord(microSite(), 2, 0b10));
+    benchmark::DoNotOptimize(F.get(1).bits());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AllocRecordSemispace);
+
+void BM_ConsCell(benchmark::State &State) {
+  Mutator M(genConfig());
+  Frame F(M, microKey());
+  for (auto _ : State)
+    F.set(1, consInt(M, microSite(), 42, slot(F, 2)));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ConsCell);
+
+template <GenerationalCollector::BarrierKind Kind>
+void BM_WriteBarrier(benchmark::State &State) {
+  MutatorConfig C = genConfig();
+  C.Barrier = Kind;
+  Mutator M(C);
+  Frame F(M, microKey());
+  // An old (promoted) target so the barrier has real work to remember.
+  F.set(1, M.allocPtrArray(microSite(), 16));
+  M.collect(false);
+  uint32_t I = 0;
+  for (auto _ : State) {
+    M.writeField(F.get(1), I & 15, Value::null(), true);
+    ++I;
+    if ((I & 0xFFFF) == 0)
+      M.collect(false); // Drain the remembered set periodically.
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(
+    BM_WriteBarrier<GenerationalCollector::BarrierKind::SequentialStoreBuffer>)
+    ->Name("BM_WriteBarrierSSB");
+BENCHMARK(BM_WriteBarrier<GenerationalCollector::BarrierKind::CardMarking>)
+    ->Name("BM_WriteBarrierCards");
+
+/// Builds a stack Depth frames deep, then measures minor collections (the
+/// per-GC stack-scan cost Table 5 aggregates). With markers the scan cost
+/// should become independent of depth.
+void scanAtDepth(benchmark::State &State, bool Markers) {
+  MutatorConfig C = genConfig();
+  C.UseStackMarkers = Markers;
+  Mutator M(C);
+  int Depth = static_cast<int>(State.range(0));
+
+  // Recursive builder with a pointer local per frame.
+  struct Builder {
+    static void deep(Mutator &M, benchmark::State &State, int N) {
+      Frame F(M, microKey());
+      F.set(1, consInt(M, microSite(), N, slot(F, 2)));
+      if (N > 0) {
+        deep(M, State, N - 1);
+        return;
+      }
+      for (auto _ : State)
+        M.collect(false);
+    }
+  };
+  Builder::deep(M, State, Depth);
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_StackScanFull(benchmark::State &State) { scanAtDepth(State, false); }
+BENCHMARK(BM_StackScanFull)->Arg(10)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_StackScanMarkers(benchmark::State &State) {
+  scanAtDepth(State, true);
+}
+BENCHMARK(BM_StackScanMarkers)->Arg(10)->Arg(100)->Arg(1000)->Arg(4000);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Tolerate the harness-wide flags the table benches accept.
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--scale=", 8) == 0 ||
+        std::strncmp(Argv[I], "--reps=", 7) == 0)
+      continue;
+    Args.push_back(Argv[I]);
+  }
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

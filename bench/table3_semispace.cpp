@@ -1,0 +1,56 @@
+//===- bench/table3_semispace.cpp - Paper Table 3 ---------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Regenerates Table 3: time and space usage of the semispace collector at
+// k = 1.5, 2 and 4 — Total/GC/Client times, number of collections, and
+// bytes copied. Expected shapes: GC time falls roughly with 1/k for
+// short-lived-data programs (Checksum, FFT) and faster for long-lived-data
+// programs (Gröbner, Knuth-Bendix); client time is k-insensitive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Table.h"
+
+using namespace tilgc;
+using namespace tilgc::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  int Reps = repsFromArgs(Argc, Argv, 3);
+  printBanner("Table 3: semispace collector, k in {1.5, 2, 4}", Scale);
+
+  const double Ks[3] = {1.5, 2.0, 4.0};
+
+  Table Times("Semispace: times (paper Table 3, top)");
+  Times.setHeader({"Program", "Total k=1.5", "Total k=2", "Total k=4",
+                   "GC k=1.5", "GC k=2", "GC k=4", "Client k=1.5",
+                   "Client k=2", "Client k=4"});
+  Table Space("Semispace: collections and copying (paper Table 3, bottom)");
+  Space.setHeader({"Program", "GCs k=1.5", "GCs k=2", "GCs k=4",
+                   "Copied k=1.5", "Copied k=2", "Copied k=4"});
+
+  for (const auto &W : allWorkloads()) {
+    Measurement M[3];
+    for (int I = 0; I < 3; ++I)
+      M[I] = runWorkloadAveraged(
+          *W, configFor(CollectorKind::Semispace, Ks[I], *W, Scale), Scale,
+          Reps);
+    Times.addRow({W->name(), checked(M[0], sec(M[0].TotalSec)),
+                  checked(M[1], sec(M[1].TotalSec)),
+                  checked(M[2], sec(M[2].TotalSec)), sec(M[0].GcSec),
+                  sec(M[1].GcSec), sec(M[2].GcSec), sec(M[0].ClientSec),
+                  sec(M[1].ClientSec), sec(M[2].ClientSec)});
+    Space.addRow({W->name(),
+                  formatString("%llu", (unsigned long long)M[0].NumGC),
+                  formatString("%llu", (unsigned long long)M[1].NumGC),
+                  formatString("%llu", (unsigned long long)M[2].NumGC),
+                  formatBytes(M[0].BytesCopied), formatBytes(M[1].BytesCopied),
+                  formatBytes(M[2].BytesCopied)});
+  }
+  Times.print(stdout);
+  Space.print(stdout);
+  return 0;
+}

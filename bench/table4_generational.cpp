@@ -1,0 +1,59 @@
+//===- bench/table4_generational.cpp - Paper Table 4 -------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Regenerates Table 4: the generational collector at k = 1.5, 2 and 4.
+// Expected shapes vs Table 3: generational wins broadly; Knuth-Bendix is
+// k-insensitive (survivors stay live, no major collections); PIA improves
+// sharply with k (its tenured data dies quickly); FFT's GC time nearly
+// vanishes (large arrays sit in the mark-sweep space).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Table.h"
+
+using namespace tilgc;
+using namespace tilgc::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  int Reps = repsFromArgs(Argc, Argv, 3);
+  printBanner("Table 4: generational collector, k in {1.5, 2, 4}", Scale);
+
+  const double Ks[3] = {1.5, 2.0, 4.0};
+
+  Table Times("Generational: times (paper Table 4, top)");
+  Times.setHeader({"Program", "Total k=1.5", "Total k=2", "Total k=4",
+                   "GC k=1.5", "GC k=2", "GC k=4", "Client k=1.5",
+                   "Client k=2", "Client k=4"});
+  Table Space("Generational: collections, copying, frame depth (bottom)");
+  Space.setHeader({"Program", "GCs k=1.5", "GCs k=2", "GCs k=4",
+                   "Majors k=4", "Copied k=1.5", "Copied k=2", "Copied k=4",
+                   "Avg Frames"});
+
+  for (const auto &W : allWorkloads()) {
+    Measurement M[3];
+    for (int I = 0; I < 3; ++I)
+      M[I] = runWorkloadAveraged(
+          *W, configFor(CollectorKind::Generational, Ks[I], *W, Scale),
+          Scale, Reps);
+    Times.addRow({W->name(), checked(M[0], sec(M[0].TotalSec)),
+                  checked(M[1], sec(M[1].TotalSec)),
+                  checked(M[2], sec(M[2].TotalSec)), sec(M[0].GcSec),
+                  sec(M[1].GcSec), sec(M[2].GcSec), sec(M[0].ClientSec),
+                  sec(M[1].ClientSec), sec(M[2].ClientSec)});
+    Space.addRow({W->name(),
+                  formatString("%llu", (unsigned long long)M[0].NumGC),
+                  formatString("%llu", (unsigned long long)M[1].NumGC),
+                  formatString("%llu", (unsigned long long)M[2].NumGC),
+                  formatString("%llu", (unsigned long long)M[2].NumMajorGC),
+                  formatBytes(M[0].BytesCopied), formatBytes(M[1].BytesCopied),
+                  formatBytes(M[2].BytesCopied),
+                  formatString("%.1f", M[2].AvgFrames)});
+  }
+  Times.print(stdout);
+  Space.print(stdout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/table7_relative.cpp - Paper Table 7 -----------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Regenerates Table 7: relative GC time at k = 4 across the four
+// techniques — semispace (= 100), generational, generational + stack
+// markers, generational + markers + pretenuring — as both numbers and the
+// paper's bar chart (rendered in ASCII).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Table.h"
+
+#include <string>
+
+using namespace tilgc;
+using namespace tilgc::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  int Reps = repsFromArgs(Argc, Argv, 3);
+  printBanner("Table 7: relative GC time at k = 4", Scale);
+
+  Table T("Relative GC time, semispace = 100 (paper Table 7)");
+  T.setHeader({"Program", "semispace", "gen", "gen+markers",
+               "gen+markers+pretenure"});
+
+  std::string Chart;
+  for (const auto &W : allWorkloads()) {
+    MutatorConfig Semi = configFor(CollectorKind::Semispace, 4.0, *W, Scale);
+    MutatorConfig Gen = configFor(CollectorKind::Generational, 4.0, *W,
+                                  Scale);
+    MutatorConfig Marked = Gen;
+    Marked.UseStackMarkers = true;
+    MutatorConfig Pre = Marked;
+    Pre.Pretenure = profilePretenureSet(*W, Scale, false);
+
+    Measurement MS = runWorkloadAveraged(*W, Semi, Scale, Reps);
+    Measurement MG = runWorkloadAveraged(*W, Gen, Scale, Reps);
+    Measurement MM = runWorkloadAveraged(*W, Marked, Scale, Reps);
+    Measurement MP = runWorkloadAveraged(*W, Pre, Scale, Reps);
+
+    auto Rel = [&](const Measurement &M) {
+      return MS.GcSec > 0 ? 100.0 * M.GcSec / MS.GcSec : 0.0;
+    };
+    T.addRow({W->name(), "100.0", formatString("%.1f", Rel(MG)),
+              formatString("%.1f", Rel(MM)), formatString("%.1f", Rel(MP))});
+
+    // ASCII bars (40 chars = 100%).
+    auto Bar = [&](const char *Tag, double Pct) {
+      int N = static_cast<int>(Pct * 0.4 + 0.5);
+      if (N > 60)
+        N = 60;
+      std::string Line = formatString("  %-22s %6.1f |", Tag, Pct);
+      Line.append(static_cast<size_t>(N), '#');
+      Line += "\n";
+      return Line;
+    };
+    Chart += formatString("%s\n", W->name());
+    Chart += Bar("semispace", 100.0);
+    Chart += Bar("gen", Rel(MG));
+    Chart += Bar("gen+markers", Rel(MM));
+    Chart += Bar("gen+markers+pretenure", Rel(MP));
+  }
+  T.print(stdout);
+  std::fputs(Chart.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- examples/gc_torture.cpp - Interactive torture driver ----------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Runs all eleven paper benchmarks back-to-back under one collector
+// configuration chosen on the command line, validating every checksum —
+// handy for soak-testing a collector change.
+//
+// Usage:
+//   gc_torture [semispace|generational] [--markers] [--pretenure]
+//              [--cards] [--aged=N] [--budget=BYTES] [--scale=S]
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tilgc;
+
+int main(int Argc, char **Argv) {
+  MutatorConfig C;
+  C.BudgetBytes = 2u << 20;
+  C.VerifyHeapAfterGC = true;
+  double Scale = 0.5;
+  bool Pretenure = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (!std::strcmp(A, "semispace"))
+      C.Kind = CollectorKind::Semispace;
+    else if (!std::strcmp(A, "generational"))
+      C.Kind = CollectorKind::Generational;
+    else if (!std::strcmp(A, "--markers"))
+      C.UseStackMarkers = true;
+    else if (!std::strcmp(A, "--cards"))
+      C.Barrier = GenerationalCollector::BarrierKind::CardMarking;
+    else if (!std::strcmp(A, "--pretenure"))
+      Pretenure = true;
+    else if (!std::strncmp(A, "--aged=", 7))
+      C.PromoteAgeThreshold = static_cast<unsigned>(std::atoi(A + 7));
+    else if (!std::strncmp(A, "--budget=", 9))
+      C.BudgetBytes = static_cast<size_t>(std::atol(A + 9));
+    else if (!std::strncmp(A, "--scale=", 8))
+      Scale = std::atof(A + 8);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", A);
+      return 2;
+    }
+  }
+
+  int Failures = 0;
+  for (const auto &W : allWorkloads()) {
+    MutatorConfig Run = C;
+    if (Pretenure && C.Kind == CollectorKind::Generational) {
+      MutatorConfig Prof = C;
+      Prof.EnableProfiling = true;
+      Mutator PM(Prof);
+      (void)W->run(PM, Scale);
+      Run.Pretenure = PM.profiler()->derivePretenureSet(0.8);
+    }
+    Mutator M(Run);
+    uint64_t Got = W->run(M, Scale);
+    bool OK = Got == W->expected(Scale);
+    Failures += !OK;
+    const GcStats &S = M.gcStats();
+    std::printf("%-13s %-4s gc=%6.3fs GCs=%5llu copied=%8lluKB "
+                "frames(avg)=%6.1f\n",
+                W->name(), OK ? "OK" : "BAD", S.gcSeconds(),
+                (unsigned long long)S.NumGC,
+                (unsigned long long)(S.BytesCopied >> 10), S.avgFramesAtGC());
+  }
+  std::printf("%s\n", Failures ? "FAILURES PRESENT" : "all checksums match");
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,86 @@
+//===- examples/profile_then_pretenure.cpp - The §6 pipeline ---------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// The paper's profile-driven pretenuring workflow, end to end:
+//
+//   1. run the program once with the heap profiler attached,
+//   2. inspect the per-site lifetime report (the paper's Figure 2),
+//   3. derive the pretenure set (sites with old% >= 80%),
+//   4. optionally persist the profile to disk and reload it,
+//   5. re-run with pretenuring and compare collector work.
+//
+// Uses the Nqueen benchmark — the paper's flagship pretenuring example
+// (Table 6: 50% GC-time reduction; Figure 2: four sites carry 99% of all
+// copied bytes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace tilgc;
+
+int main() {
+  Workload *W = findWorkload("Nqueen");
+  const double Scale = 1.0;
+  const size_t Budget = 4u << 20;
+
+  // --- 1. Profiled run -------------------------------------------------
+  std::vector<PretenureDecision> Decisions;
+  {
+    MutatorConfig C;
+    C.BudgetBytes = Budget;
+    C.EnableProfiling = true;
+    Mutator M(C);
+    (void)W->run(M, Scale);
+
+    // --- 2. The Figure 2 report ---------------------------------------
+    M.profiler()->report(stdout, "Nqueen heap profile");
+
+    // --- 3. Derive the pretenure set ----------------------------------
+    Decisions = M.profiler()->derivePretenureSet(/*OldCutoff=*/0.8);
+    std::printf("pretenure set (old%% >= 80%%):\n");
+    for (const PretenureDecision &D : Decisions)
+      std::printf("  site %-20s%s\n",
+                  AllocSiteRegistry::global().name(D.SiteId).c_str(),
+                  D.EliminateScan ? "  [scan eliminated, §7.2]" : "");
+
+    // --- 4. Persist / reload (how a build system would wire this) -----
+    M.profiler()->save("/tmp/nqueen.heapprofile");
+    HeapProfiler Reloaded;
+    Reloaded.load("/tmp/nqueen.heapprofile");
+    std::printf("profile round-trips: %s\n\n",
+                Reloaded.derivePretenureSet(0.8).size() == Decisions.size()
+                    ? "yes"
+                    : "NO");
+  }
+
+  // --- 5. Before/after comparison --------------------------------------
+  auto Measure = [&](const char *Tag, const MutatorConfig &C) {
+    Mutator M(C);
+    uint64_t Got = W->run(M, Scale);
+    const GcStats &S = M.gcStats();
+    std::printf("%-16s GCs=%4llu copied=%8llu KB  gc=%.3fs  valid=%s\n", Tag,
+                (unsigned long long)S.NumGC,
+                (unsigned long long)(S.BytesCopied >> 10), S.gcSeconds(),
+                Got == W->expected(Scale) ? "yes" : "NO");
+    return S.BytesCopied;
+  };
+
+  MutatorConfig Plain;
+  Plain.BudgetBytes = Budget;
+  Plain.UseStackMarkers = true;
+  uint64_t Before = Measure("markers only", Plain);
+
+  MutatorConfig Pre = Plain;
+  Pre.Pretenure = Decisions;
+  uint64_t After = Measure("with pretenure", Pre);
+
+  std::printf("\ncopied bytes reduced by %.0f%% (paper Table 6: Nqueen "
+              "copied 5.3MB -> 0.2MB at k=1.5)\n",
+              Before ? 100.0 * (double)(Before - After) / (double)Before
+                     : 0.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- examples/quickstart.cpp - Hello, tilgc ------------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// The smallest complete program: create a runtime, follow the pointer-slot
+// discipline to build a list the collector may move at any time, force
+// collections, and read the statistics the paper's tables are made of.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutator.h"
+
+#include "workloads/MLLib.h"
+
+#include <cstdio>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+int main() {
+  // 1. Configure a runtime. Defaults mirror the paper: a two-generation
+  //    collector with a 512K-capped nursery and a sequential store buffer.
+  MutatorConfig Config;
+  Config.BudgetBytes = 8u << 20;     // The paper's "k * Min" budget knob.
+  Config.UseStackMarkers = true;     // §5: generational stack collection.
+  Mutator M(Config);
+
+  // 2. Every function that holds heap pointers across an allocation needs
+  //    an activation record described by a trace table. Slot 0 is the
+  //    return-address key; we declare two pointer slots.
+  static const uint32_t Key = TraceTableRegistry::global().define(
+      FrameLayout("quickstart.main", {Trace::pointer(), Trace::pointer()}));
+  static const uint32_t Site =
+      AllocSiteRegistry::global().define("quickstart.cons");
+
+  Frame F(M, Key);
+
+  // 3. Build a 100,000-element list. consInt reads its tail through the
+  //    frame slot *after* allocating, because the allocation may trigger a
+  //    collection that moves every object.
+  for (int I = 100000; I >= 1; --I)
+    F.set(1, consInt(M, Site, I, slot(F, 1)));
+
+  // 4. Collections happen automatically; you can also force them.
+  M.collect(/*Major=*/true);
+
+  // 5. The list survived, wherever it lives now.
+  int64_t Sum = sumInt(F.get(1));
+  std::printf("sum(1..100000) = %lld (expected %lld)\n",
+              static_cast<long long>(Sum), 100000LL * 100001 / 2);
+
+  const GcStats &S = M.gcStats();
+  std::printf("collections: %llu (%llu major), allocated %llu KB, "
+              "copied %llu KB\n",
+              (unsigned long long)S.NumGC, (unsigned long long)S.NumMajorGC,
+              (unsigned long long)(S.BytesAllocated >> 10),
+              (unsigned long long)(S.BytesCopied >> 10));
+  std::printf("stack scans: %llu frames fresh, %llu reused via §5 markers\n",
+              (unsigned long long)S.FramesScanned,
+              (unsigned long long)S.FramesReused);
+  return Sum == 100000LL * 100001 / 2 ? 0 : 1;
+}

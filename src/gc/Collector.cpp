@@ -1,0 +1,12 @@
+//===- gc/Collector.cpp - Collector interface ------------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+
+using namespace tilgc;
+
+// Out-of-line virtual anchor.
+Collector::~Collector() = default;

@@ -1,0 +1,128 @@
+//===- gc/Collector.h - Collector interface ---------------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract collector interface the mutator allocates through, plus the
+/// environment (stack, registers, optional profiler) collectors scan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_COLLECTOR_H
+#define TILGC_GC_COLLECTOR_H
+
+#include "gc/GcStats.h"
+#include "heap/Space.h"
+#include "object/Object.h"
+#include "profile/HeapProfiler.h"
+#include "stack/RegisterFile.h"
+#include "stack/ShadowStack.h"
+#include "stack/StackMarkers.h"
+#include "stack/StackScanner.h"
+
+#include <cstdint>
+
+namespace tilgc {
+
+/// What a collector needs from the mutator: the root sources and the
+/// optional profiler. Non-owning.
+struct CollectorEnv {
+  ShadowStack *Stack = nullptr;
+  RegisterFile *Regs = nullptr;
+  HeapProfiler *Profiler = nullptr;
+};
+
+/// Abstract copying collector.
+class Collector {
+public:
+  explicit Collector(const CollectorEnv &Env) : Env(Env) {
+    assert(Env.Stack && Env.Regs && "collector needs stack and registers");
+  }
+  virtual ~Collector();
+
+  Collector(const Collector &) = delete;
+  Collector &operator=(const Collector &) = delete;
+
+  /// Allocates an object of \p LenWords payload words with a zeroed payload
+  /// and returns its payload pointer. May trigger a collection, which moves
+  /// objects: callers must re-read any heap pointers from frame slots after
+  /// this returns.
+  virtual Word *allocate(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
+                         uint32_t SiteId) = 0;
+
+  /// Write barrier: the mutator calls this with the address of every
+  /// mutated pointer slot (semispace: no-op; generational: SSB append).
+  virtual void writeBarrier(Word *Slot) = 0;
+
+  /// Forces a collection. \p Major requests a full collection where the
+  /// distinction exists.
+  virtual void collect(bool Major) = 0;
+
+  /// Live bytes after the most recent collection.
+  virtual uint64_t liveBytesAfterLastGC() const = 0;
+
+  /// The stack-marker manager, if generational stack collection is enabled.
+  virtual MarkerManager *markerManager() { return nullptr; }
+
+  GcStats &stats() { return Stats; }
+  const GcStats &stats() const { return Stats; }
+
+  /// Cumulative allocation in KB; objects record this at birth so the
+  /// profiler can compute death ages.
+  uint64_t allocStampKB() const { return Stats.BytesAllocated >> 10; }
+
+protected:
+  /// Builds the metadata header word for a new object.
+  Word makeMeta(uint32_t SiteId) const {
+    return meta::make(SiteId, allocStampKB());
+  }
+
+  /// Common per-allocation accounting (+ profiler hook).
+  void accountAllocation(ObjectKind Kind, Word Descriptor, uint32_t SiteId) {
+    uint64_t Bytes = objectTotalBytes(Descriptor);
+    Stats.BytesAllocated += Bytes;
+    Stats.ObjectsAllocated += 1;
+    if (Kind == ObjectKind::Record)
+      Stats.RecordBytesAllocated += Bytes;
+    else
+      Stats.ArrayBytesAllocated += Bytes;
+    if (Env.Profiler)
+      Env.Profiler->onAlloc(SiteId, Bytes);
+  }
+
+  /// Per-collection stack metrics (frame depth, Table 2's new frames).
+  void accountStackAtGC() {
+    uint64_t Frames = Env.Stack->frameCount();
+    Stats.FramesAtGCSum += Frames;
+    if (Frames > Stats.MaxFramesAtGC)
+      Stats.MaxFramesAtGC = Frames;
+    Stats.NewFramesSum += Frames - Env.Stack->minFramesSinceMark();
+    Env.Stack->resetWaterMark();
+  }
+
+  /// Profiler death sweep of an evacuated space: every non-forwarded object
+  /// died; record its age.
+  void sweepDeaths(const Space &From) {
+    if (!Env.Profiler)
+      return;
+    uint64_t NowKB = allocStampKB();
+    From.walk([&](Word *Payload, Word Descriptor, bool Forwarded) {
+      if (Forwarded)
+        return;
+      (void)Descriptor;
+      Word Meta = metaOf(Payload);
+      Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+    });
+  }
+
+  CollectorEnv Env;
+  GcStats Stats;
+  RootSet Roots;
+  ScanStats LastScan;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_COLLECTOR_H

@@ -1,0 +1,100 @@
+//===- gc/Evacuator.cpp - Cheney copying engine ---------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Evacuator.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace tilgc;
+
+Evacuator::Evacuator(const Config &C) : C(C) {
+  assert(C.Dest && "evacuation needs a destination");
+  assert(!C.TraceLOS || C.LOS);
+  assert((C.DestYoung == nullptr) == (C.PromoteAgeThreshold <= 1) &&
+         "aged tenuring needs a young destination and vice versa");
+  ScanDest = C.Dest->frontier();
+  ScanYoung = C.DestYoung ? C.DestYoung->frontier() : nullptr;
+}
+
+Word *Evacuator::copy(Word *P) {
+  Word Descriptor = descriptorOf(P);
+  if (header::isForwarded(Descriptor))
+    return header::forwardTarget(Descriptor);
+
+
+  Word Meta = metaOf(P);
+  unsigned OldAge = meta::age(Meta);
+  Word NewMeta = meta::withBumpedAge(Meta);
+
+  Space *Target = C.Dest;
+  if (C.DestYoung && OldAge + 1 < C.PromoteAgeThreshold)
+    Target = C.DestYoung;
+
+  Word *NewPayload = Target->allocate(Descriptor, NewMeta);
+#ifndef NDEBUG
+  if (!NewPayload)
+    std::fprintf(stderr,
+                 "evacuation overflow: target=%s used=%zu cap=%zu need=%u\n",
+                 Target == C.Dest ? "dest" : "destYoung", Target->usedBytes(),
+                 Target->capacityBytes(), objectTotalWords(Descriptor) * 8);
+#endif
+  assert(NewPayload && "destination space overflowed during evacuation");
+  uint32_t Len = header::length(Descriptor);
+  std::memcpy(NewPayload, P, static_cast<size_t>(Len) * sizeof(Word));
+  descriptorOf(P) = header::makeForward(NewPayload);
+
+  uint64_t Bytes = objectTotalBytes(Descriptor);
+  BytesCopied += Bytes;
+  ++ObjectsCopied;
+
+  if (C.Profiler) {
+    uint32_t Site = meta::site(Meta);
+    C.Profiler->onCopy(Site, Bytes);
+    if (C.CountSurvivedFirst && OldAge == 0)
+      C.Profiler->onSurviveFirst(Site);
+  }
+  return NewPayload;
+}
+
+void Evacuator::scanObject(Word *Payload) {
+  uint32_t Site =
+      C.Profiler ? meta::site(metaOf(Payload)) : 0;
+  forEachPointerField(Payload, [&](Word *Field) {
+    forwardSlot(Field);
+    if (C.Profiler && *Field)
+      C.Profiler->onReferent(Site,
+                             meta::site(metaOf(reinterpret_cast<Word *>(
+                                 *Field))));
+  });
+}
+
+void Evacuator::drain() {
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    while (ScanDest < C.Dest->frontier()) {
+      Word *Payload = ScanDest + HeaderWords;
+      scanObject(Payload);
+      ScanDest += objectTotalWords(descriptorOf(Payload));
+      Progress = true;
+    }
+    if (C.DestYoung) {
+      while (ScanYoung < C.DestYoung->frontier()) {
+        Word *Payload = ScanYoung + HeaderWords;
+        scanObject(Payload);
+        ScanYoung += objectTotalWords(descriptorOf(Payload));
+        Progress = true;
+      }
+    }
+    while (!LOSWork.empty()) {
+      Word *Payload = LOSWork.back();
+      LOSWork.pop_back();
+      scanObject(Payload);
+      Progress = true;
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===- gc/GcStats.h - Collector statistics ----------------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters and timers reported by the collectors. These back every column
+/// of the paper's tables: Total/GC/Client times, NumGC, bytes copied, the
+/// GC-stack/GC-copy split of Table 5, and Table 2's allocation
+/// characteristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_GCSTATS_H
+#define TILGC_GC_GCSTATS_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+
+namespace tilgc {
+
+/// Accumulated collector statistics.
+struct GcStats {
+  // Collection counts.
+  uint64_t NumGC = 0;
+  uint64_t NumMajorGC = 0;
+
+  // Allocation accounting (bytes include the two-word headers).
+  uint64_t BytesAllocated = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t RecordBytesAllocated = 0;
+  uint64_t ArrayBytesAllocated = 0;
+
+  // Copy accounting.
+  uint64_t BytesCopied = 0;
+  uint64_t ObjectsCopied = 0;
+
+  // Live-data accounting (sampled after each collection).
+  uint64_t MaxLiveBytes = 0;
+
+  // Stack-scan accounting.
+  uint64_t FramesScanned = 0;
+  uint64_t FramesReused = 0;
+  uint64_t SlotsVisited = 0;
+  uint64_t MaxFramesAtGC = 0;
+  uint64_t FramesAtGCSum = 0; ///< Divide by NumGC for the average depth.
+  uint64_t NewFramesSum = 0;  ///< Table 2's "New Frames in Stack" numerator.
+
+  // Write-barrier accounting.
+  uint64_t SSBEntriesProcessed = 0;
+
+  // Pretenuring accounting.
+  uint64_t PretenuredBytes = 0;
+  uint64_t PretenuredScannedBytes = 0;
+  uint64_t PretenuredScanSkippedBytes = 0;
+
+  /// Times the collector exceeded its k*Min budget and grew anyway.
+  uint64_t BudgetOverruns = 0;
+
+  // Time split. StackTime and CopyTime accumulate inside GcTime regions;
+  // the remainder of GcTime is bookkeeping (resizing, sweeping).
+  Timer GcTime;
+  Timer StackTime;
+  Timer CopyTime;
+
+  double gcSeconds() const { return GcTime.seconds(); }
+  double stackSeconds() const { return StackTime.seconds(); }
+  double copySeconds() const { return CopyTime.seconds(); }
+
+  double avgFramesAtGC() const {
+    return NumGC ? static_cast<double>(FramesAtGCSum) /
+                       static_cast<double>(NumGC)
+                 : 0.0;
+  }
+  double avgNewFramesAtGC() const {
+    return NumGC ? static_cast<double>(NewFramesSum) /
+                       static_cast<double>(NumGC)
+                 : 0.0;
+  }
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_GCSTATS_H

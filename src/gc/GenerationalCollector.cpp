@@ -1,0 +1,429 @@
+//===- gc/GenerationalCollector.cpp - Two-generation collector ------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GenerationalCollector.h"
+
+#include "gc/Evacuator.h"
+#include "gc/HeapVerifier.h"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <cstring>
+
+using namespace tilgc;
+
+GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
+                                             const Options &Opts)
+    : Collector(Env), Opts(Opts), Markers(Opts.MarkerPeriod) {
+  Markers.setAdaptive(Opts.AdaptiveMarkerPlacement);
+  size_t NurserySize = std::clamp<size_t>(Opts.BudgetBytes / 4, 8u << 10,
+                                          Opts.NurseryLimitBytes);
+  NurseryA.reserve(NurserySize);
+  if (AgedTenuring())
+    NurseryB.reserve(NurserySize);
+
+  size_t NurseryFoot = NurserySize * (AgedTenuring() ? 2 : 1);
+  size_t TenuredSize =
+      Opts.BudgetBytes > NurseryFoot ? (Opts.BudgetBytes - NurseryFoot) / 2 : 0;
+  TenuredSize = std::max(TenuredSize, NurserySize + (16u << 10));
+  TenuredA.reserve(TenuredSize);
+  TenuredB.reserve(TenuredSize);
+
+  for (const PretenureDecision &Dec : Opts.Pretenure) {
+    if (Dec.SiteId >= PretenureFlag.size())
+      PretenureFlag.resize(Dec.SiteId + 1, 0);
+    PretenureFlag[Dec.SiteId] = Dec.EliminateScan ? 2 : 1;
+  }
+
+  if (Opts.Barrier == BarrierKind::CardMarking)
+    Cards.attach(*TenuredFrom);
+}
+
+size_t GenerationalCollector::footprintBytes() const {
+  return NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1) +
+         TenuredFrom->capacityBytes() + TenuredTo->capacityBytes() +
+         LOS.liveBytes();
+}
+
+Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
+                                      uint32_t PtrMask, uint32_t SiteId) {
+  Word Descriptor = header::make(Kind, LenWords, PtrMask);
+  uint64_t Total = objectTotalBytes(Descriptor);
+  size_t PayloadBytes = static_cast<size_t>(LenWords) * sizeof(Word);
+
+  // Large arrays live in the mark-sweep region (paper §2.1). Collect
+  // *before* allocating: a collection after the fact would reclaim the
+  // still-unreachable newborn.
+  if (Kind != ObjectKind::Record && Total >= Opts.LargeObjectThresholdBytes) {
+    if (footprintBytes() + Total > Opts.BudgetBytes &&
+        LOSAllocSinceGC + Total >= Opts.BudgetBytes / 8) {
+      TimerScope Gc(Stats.GcTime);
+      doMajor(0);
+    }
+    Word *Payload = LOS.allocate(Descriptor, makeMeta(SiteId));
+    NewLargeObjects.push_back(Payload);
+    LOSAllocSinceGC += Total;
+    accountAllocation(Kind, Descriptor, SiteId);
+    std::memset(Payload, 0, PayloadBytes);
+    return Payload;
+  }
+
+  // Pretenured sites allocate directly into the tenured generation (§6).
+  if (SiteId < PretenureFlag.size() && PretenureFlag[SiteId]) {
+    Word *Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
+    if (TILGC_UNLIKELY(!Payload)) {
+      {
+        TimerScope Gc(Stats.GcTime);
+        doMajor(Total);
+      }
+      Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
+      assert(Payload && "tenured generation full after major collection");
+    }
+    notePretenuredRun(Payload, Descriptor, PretenureFlag[SiteId] == 2);
+    Stats.PretenuredBytes += Total;
+    accountAllocation(Kind, Descriptor, SiteId);
+    std::memset(Payload, 0, PayloadBytes);
+    return Payload;
+  }
+
+  // Everything else: the nursery.
+  Word *Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
+  if (TILGC_UNLIKELY(!Payload)) {
+    {
+      TimerScope Gc(Stats.GcTime);
+      doMinor(0);
+    }
+    Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
+    if (TILGC_UNLIKELY(!Payload)) {
+      // Aged tenuring can leave the nursery nearly full of young
+      // survivors; a major collection promotes them all.
+      assert(AgedTenuring() && "nursery still full after a minor GC");
+      {
+        TimerScope Gc(Stats.GcTime);
+        doMajor(0);
+      }
+      Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
+      assert(Payload && "object exceeds nursery capacity");
+    }
+  }
+  accountAllocation(Kind, Descriptor, SiteId);
+  std::memset(Payload, 0, PayloadBytes);
+  return Payload;
+}
+
+void GenerationalCollector::writeBarrier(Word *Slot) {
+  switch (Opts.Barrier) {
+  case BarrierKind::SequentialStoreBuffer:
+    SSB.record(Slot);
+    return;
+  case BarrierKind::FilteredStoreBuffer: {
+    // Conditional barrier: record only genuine old->young stores. Costs
+    // two range tests per pointer store; collections see few entries.
+    if (inNursery(Slot))
+      return;
+    Word Bits = *Slot;
+    if (!Bits || !inNursery(reinterpret_cast<Word *>(Bits)))
+      return;
+    SSB.record(Slot);
+    return;
+  }
+  case BarrierKind::CardMarking:
+    // Young-object slots need no remembering; tenured slots dirty a card;
+    // large-object slots go to a small side buffer.
+    if (inNursery(Slot))
+      return;
+    if (TenuredFrom->contains(Slot)) {
+      Cards.mark(Slot);
+      return;
+    }
+    LOSDirtySlots.push_back(Slot);
+    return;
+  }
+  TILGC_UNREACHABLE("bad barrier kind");
+}
+
+void GenerationalCollector::collect(bool Major) {
+  TimerScope Gc(Stats.GcTime);
+  if (Major)
+    doMajor(0);
+  else
+    doMinor(0);
+}
+
+void GenerationalCollector::scanStackForRoots() {
+  TimerScope T(Stats.StackTime);
+  LastScan = ScanStats();
+  bool UseMarkers = Opts.UseStackMarkers;
+  StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
+                     UseMarkers ? &Cache : nullptr, Roots, LastScan);
+  Stats.FramesScanned += LastScan.FramesScanned;
+  Stats.FramesReused += LastScan.FramesReused;
+  Stats.SlotsVisited += LastScan.SlotsVisited;
+}
+
+void GenerationalCollector::notePretenuredRun(Word *Payload, Word Descriptor,
+                                              bool NoScan) {
+  Word *Begin = Payload - HeaderWords;
+  Word *End = Begin + objectTotalWords(Descriptor);
+  if (!Runs.empty() && Runs.back().End == Begin &&
+      Runs.back().NoScan == NoScan) {
+    Runs.back().End = End;
+    return;
+  }
+  Runs.push_back(Run{Begin, End, NoScan});
+}
+
+void GenerationalCollector::processOldToYoungRoots(Evacuator &E) {
+  // Write-barrier output.
+  if (Opts.Barrier != BarrierKind::CardMarking) {
+    for (Word *Slot : SSB.entries()) {
+      // Slots inside young objects are covered by the copy scan itself;
+      // the paper's collector filters them the same way.
+      if (inNursery(Slot))
+        continue;
+      E.forwardSlot(Slot);
+      ++Stats.SSBEntriesProcessed;
+    }
+  } else {
+    Cards.forEachDirtyField(*TenuredFrom, [&](Word *Field) {
+      E.forwardSlot(Field);
+      ++Stats.SSBEntriesProcessed;
+    });
+    for (Word *Slot : LOSDirtySlots) {
+      E.forwardSlot(Slot);
+      ++Stats.SSBEntriesProcessed;
+    }
+  }
+
+  // The pretenured region (§6): "we remember the area of the older
+  // generation that has been directly allocated into and scan this region
+  // ... a win over copying since copying objects is slower than only
+  // scanning them." §7.2 scan-eliminated runs are skipped outright.
+  for (const Run &R : Runs) {
+    uint64_t Bytes =
+        static_cast<uint64_t>(R.End - R.Begin) * sizeof(Word);
+    if (R.NoScan) {
+      Stats.PretenuredScanSkippedBytes += Bytes;
+      continue;
+    }
+    Stats.PretenuredScannedBytes += Bytes;
+    Word *P = R.Begin;
+    while (P < R.End) {
+      Word *Payload = P + HeaderWords;
+      Word Descriptor = descriptorOf(Payload);
+      forEachPointerField(Payload,
+                          [&](Word *Field) { E.forwardSlot(Field); });
+      P += objectTotalWords(Descriptor);
+    }
+  }
+
+  // Large objects allocated since the last collection: their initializing
+  // stores bypassed the barrier, so scan them like the pretenured region.
+  for (Word *Payload : NewLargeObjects)
+    forEachPointerField(Payload, [&](Word *Field) { E.forwardSlot(Field); });
+}
+
+void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
+  // The tenured generation must be able to absorb every survivor.
+  if (TenuredFrom->freeBytes() <
+      NurseryFrom->usedBytes() + NeedTenuredBytes) {
+    doMajor(NeedTenuredBytes);
+    return;
+  }
+
+  ++Stats.NumGC;
+  accountStackAtGC();
+  scanStackForRoots();
+
+  Evacuator::Config C;
+  C.From = {NurseryFrom, nullptr, nullptr};
+  C.Dest = TenuredFrom;
+  std::vector<Word *> NewCrossGen;
+  if (AgedTenuring()) {
+    C.DestYoung = NurseryTo;
+    C.PromoteAgeThreshold = Opts.PromoteAgeThreshold;
+    C.CrossGenOut = &NewCrossGen;
+  }
+  C.LOS = &LOS;
+  C.TraceLOS = false;
+  C.Profiler = Env.Profiler;
+  C.CountSurvivedFirst = true;
+  Evacuator E(C);
+
+  {
+    TimerScope T(Stats.StackTime); // Root processing.
+    for (Word *Slot : Roots.FreshSlotRoots)
+      E.forwardSlot(Slot);
+    for (unsigned R : Roots.RegRoots)
+      E.forwardSlot(&(*Env.Regs)[R]);
+    // Promote-all + markers: roots in unchanged frames were redirected to
+    // the tenured generation by the previous collection and cannot point
+    // into the nursery — skip them entirely (the heart of §5). Under aged
+    // tenuring young survivors keep moving, so they must be processed.
+    if (!Opts.UseStackMarkers || AgedTenuring()) {
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        E.forwardSlot(Slot);
+    } else if (TILGC_UNLIKELY(Opts.VerifyReuseInvariant)) {
+      // Debug mode: check the invariant behind the skip — a root in an
+      // unchanged frame can never point into the nursery. (Off by default:
+      // the check is O(reused roots), the very cost §5 eliminates.)
+      for (Word *Slot : Roots.ReusedSlotRoots) {
+        assert((!*Slot || !inNursery(reinterpret_cast<Word *>(*Slot))) &&
+               "reused stack root points into the nursery");
+        (void)Slot;
+      }
+    }
+    // Old->young edges created by promotion at *previous* aged minors.
+    for (Word *Slot : CrossGenSlots)
+      E.forwardSlot(Slot);
+    processOldToYoungRoots(E);
+  }
+  {
+    TimerScope T(Stats.CopyTime);
+    E.drain();
+  }
+  Stats.BytesCopied += E.bytesCopied();
+  Stats.ObjectsCopied += E.objectsCopied();
+
+  if (AgedTenuring()) {
+    // Keep only real heap slots: stack slots and registers are rescanned
+    // from scratch every collection and their storage gets reused.
+    CrossGenSlots.clear();
+    for (Word *Slot : NewCrossGen)
+      if (!Env.Stack->ownsSlot(Slot) && !Env.Regs->ownsSlot(Slot))
+        CrossGenSlots.push_back(Slot);
+  }
+
+  sweepDeaths(*NurseryFrom);
+  NurseryFrom->reset();
+  if (AgedTenuring())
+    std::swap(NurseryFrom, NurseryTo);
+
+  SSB.clear();
+  Cards.clear();
+  LOSDirtySlots.clear();
+  Runs.clear();
+  NewLargeObjects.clear();
+
+  LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes() +
+              (AgedTenuring() ? NurseryFrom->usedBytes() : 0);
+  // (MaxLiveBytes is only sampled after *full* collections: after a minor
+  // one the tenured generation still holds promoted-but-dead data.)
+
+  maybeVerifyHeap("minor");
+
+  // Tenured pressure: if the next nursery-load might not fit, collect the
+  // old generation now.
+  if (TenuredFrom->freeBytes() < NurseryFrom->capacityBytes())
+    doMajor(0);
+}
+
+void GenerationalCollector::maybeVerifyHeap(const char *Phase) const {
+  if (TILGC_LIKELY(!Opts.VerifyHeapAfterGC))
+    return;
+  HeapVerifier V;
+  V.addSpace(TenuredFrom, "tenured");
+  V.addSpace(NurseryFrom, "nursery");
+  if (AgedTenuring())
+    V.addSpace(NurseryTo, "nursery-to");
+  V.setLOS(&LOS);
+  std::string Error;
+  if (!V.verifyHeap(Error)) {
+    std::fprintf(stderr, "heap verification failed after %s GC #%llu: %s\n",
+                 Phase, (unsigned long long)Stats.NumGC, Error.c_str());
+    std::abort();
+  }
+}
+
+void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
+  ++Stats.NumGC;
+  ++Stats.NumMajorGC;
+  accountStackAtGC();
+  scanStackForRoots();
+
+  size_t Incoming = TenuredFrom->usedBytes() + NurseryFrom->usedBytes() +
+                    (AgedTenuring() ? NurseryTo->usedBytes() : 0);
+  if (TenuredTo->capacityBytes() < Incoming + NeedTenuredBytes)
+    TenuredTo->reserve(Incoming + NeedTenuredBytes);
+
+  Evacuator::Config C;
+  C.From = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr, TenuredFrom};
+  C.Dest = TenuredTo;
+  C.LOS = &LOS;
+  C.TraceLOS = true;
+  C.Profiler = Env.Profiler;
+  C.CountSurvivedFirst = true;
+  Evacuator E(C);
+
+  {
+    TimerScope T(Stats.StackTime);
+    for (Word *Slot : Roots.FreshSlotRoots)
+      E.forwardSlot(Slot);
+    for (unsigned R : Roots.RegRoots)
+      E.forwardSlot(&(*Env.Regs)[R]);
+    // Everything moves in a major collection: reused roots are processed,
+    // the saving is only the avoided re-decoding of unchanged frames.
+    for (Word *Slot : Roots.ReusedSlotRoots)
+      E.forwardSlot(Slot);
+  }
+  {
+    TimerScope T(Stats.CopyTime);
+    E.drain();
+  }
+  Stats.BytesCopied += E.bytesCopied();
+  Stats.ObjectsCopied += E.objectsCopied();
+
+  // Sweep the large-object space and account deaths.
+  uint64_t NowKB = allocStampKB();
+  LOS.sweep([&](Word *Payload, Word Descriptor) {
+    (void)Descriptor;
+    if (Env.Profiler) {
+      Word Meta = metaOf(Payload);
+      Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+    }
+  });
+  sweepDeaths(*NurseryFrom);
+  if (AgedTenuring())
+    sweepDeaths(*NurseryTo);
+  sweepDeaths(*TenuredFrom);
+
+  NurseryFrom->reset();
+  if (AgedTenuring())
+    NurseryTo->reset();
+  SSB.clear();
+  LOSDirtySlots.clear();
+  Runs.clear();
+  NewLargeObjects.clear();
+  CrossGenSlots.clear(); // A major promotes everything: no old->young left.
+
+  std::swap(TenuredFrom, TenuredTo);
+  LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes();
+  if (LiveBytes > Stats.MaxLiveBytes)
+    Stats.MaxLiveBytes = LiveBytes;
+
+  // Resize the now-empty to-space toward the target liveness ratio within
+  // the memory budget (the live space's capacity catches up next major).
+  size_t NurseryFoot =
+      NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1);
+  size_t Desired = static_cast<size_t>(static_cast<double>(LiveBytes) /
+                                       Opts.TenuredTargetLiveness);
+  size_t MinSize = TenuredFrom->usedBytes() + NurseryFrom->capacityBytes() +
+                   NeedTenuredBytes + (16u << 10);
+  size_t MaxSize = MinSize;
+  size_t NonTenured = NurseryFoot + LOS.liveBytes();
+  if (Opts.BudgetBytes > NonTenured + 2 * MinSize)
+    MaxSize = (Opts.BudgetBytes - NonTenured) / 2;
+  else
+    ++Stats.BudgetOverruns;
+  Desired = std::clamp(Desired, MinSize, MaxSize);
+  TenuredTo->reserve(Desired);
+
+  if (Opts.Barrier == BarrierKind::CardMarking)
+    Cards.attach(*TenuredFrom);
+  LOSAllocSinceGC = 0;
+  maybeVerifyHeap("major");
+}

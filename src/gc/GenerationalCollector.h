@@ -1,0 +1,181 @@
+//===- gc/GenerationalCollector.h - Two-generation collector ----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's generational collector (§2.1) with all of the paper's
+/// optional machinery:
+///
+///  * two generations: a nursery bounded by the secondary cache size (512K)
+///    and a tenured generation resized toward a target liveness of 0.3;
+///  * immediate promotion of all minor-collection survivors (the default),
+///    or the aged-tenuring ablation of §7.2 where survivors bounce between
+///    nursery semispaces until they have survived PromoteAgeThreshold minor
+///    collections;
+///  * a sequential store buffer write barrier (or the card-marking
+///    alternative suggested for Peg);
+///  * a mark-sweep large-object space for big arrays;
+///  * generational stack collection (§5): stack markers + scan cache, so
+///    minor collections skip unchanged frames entirely;
+///  * profile-driven pretenuring (§6): objects from designated sites are
+///    allocated directly into the tenured generation; the freshly
+///    pretenured region is remembered and scanned for young pointers at the
+///    next collection — except for §7.2 scan-eliminated sites, whose
+///    objects provably reference only pretenured data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_GENERATIONALCOLLECTOR_H
+#define TILGC_GC_GENERATIONALCOLLECTOR_H
+
+#include "gc/Collector.h"
+#include "heap/CardTable.h"
+#include "heap/LargeObjectSpace.h"
+#include "heap/Space.h"
+#include "heap/StoreBuffer.h"
+
+#include <vector>
+
+namespace tilgc {
+
+class Evacuator;
+
+/// Two-generation copying collector with LOS, SSB/cards, stack markers,
+/// pretenuring and tenure-policy options.
+class GenerationalCollector : public Collector {
+public:
+  /// The paper's SSB (unconditional, duplicate-keeping), the card table
+  /// it suggests for Peg, or a filtering SSB that tests for an actual
+  /// old->young store before recording (the classic conditional barrier
+  /// the paper's §9 lists under "write barrier techniques").
+  enum class BarrierKind {
+    SequentialStoreBuffer,
+    CardMarking,
+    FilteredStoreBuffer,
+  };
+
+  struct Options {
+    /// Total memory budget: the paper's k*Min.
+    size_t BudgetBytes = 64u << 20;
+    /// Nursery bound (paper: the 512K secondary cache; "for benchmarking
+    /// reasons the nursery is sometimes made significantly smaller" — the
+    /// budget clamps it further).
+    size_t NurseryLimitBytes = 512u << 10;
+    /// Tenured-generation resize target (paper: 0.3).
+    double TenuredTargetLiveness = 0.3;
+    /// Arrays at least this big go to the large-object space.
+    size_t LargeObjectThresholdBytes = 4096;
+    /// Generational stack collection (§5).
+    bool UseStackMarkers = false;
+    unsigned MarkerPeriod = 25;
+    /// §7.1 dynamic marker placement: adapt the period to the observed
+    /// fresh-frame count per collection.
+    bool AdaptiveMarkerPlacement = false;
+    /// Write barrier flavor.
+    BarrierKind Barrier = BarrierKind::SequentialStoreBuffer;
+    /// 1 = promote-all (the paper's collector); N>1 = survivors are
+    /// promoted only after N minor collections (ablation, §7.2 discussion).
+    unsigned PromoteAgeThreshold = 1;
+    /// Profile-derived pretenuring decisions (§6); empty disables.
+    std::vector<PretenureDecision> Pretenure;
+    /// Debug: at each minor collection, assert that every skipped (reused)
+    /// stack root points outside the nursery. Costs O(reused roots).
+    bool VerifyReuseInvariant = false;
+    /// Debug: walk and validate the whole heap after every collection.
+    bool VerifyHeapAfterGC = false;
+  };
+
+  GenerationalCollector(const CollectorEnv &Env, const Options &Opts);
+
+  Word *allocate(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
+                 uint32_t SiteId) override;
+  void writeBarrier(Word *Slot) override;
+  void collect(bool Major) override;
+  uint64_t liveBytesAfterLastGC() const override { return LiveBytes; }
+  MarkerManager *markerManager() override {
+    return Opts.UseStackMarkers ? &Markers : nullptr;
+  }
+
+  /// Introspection for tests.
+  bool inNursery(const Word *P) const {
+    return NurseryFrom->contains(P) ||
+           (AgedTenuring() && NurseryTo->contains(P));
+  }
+  bool inTenured(const Word *P) const { return TenuredFrom->contains(P); }
+  bool inLOS(const Word *P) const { return LOS.contains(P); }
+  const LargeObjectSpace &largeObjectSpace() const { return LOS; }
+  const StoreBuffer &storeBuffer() const { return SSB; }
+  size_t nurseryCapacity() const { return NurseryFrom->capacityBytes(); }
+
+private:
+  bool AgedTenuring() const { return Opts.PromoteAgeThreshold > 1; }
+
+  /// One minor collection; may chain into a major one under tenured
+  /// pressure. \p NeedTenuredBytes is extra tenured room the caller
+  /// requires afterwards.
+  void doMinor(size_t NeedTenuredBytes);
+  void doMajor(size_t NeedTenuredBytes);
+
+  /// Scans the stack into Roots, accounting time and counters.
+  void scanStackForRoots();
+
+  /// Processes write-barrier output, remembered pretenured regions and new
+  /// large objects as minor-collection roots.
+  void processOldToYoungRoots(Evacuator &E);
+
+  /// Registers a pretenured allocation for the next region scan.
+  void notePretenuredRun(Word *Payload, Word Descriptor, bool NoScan);
+
+  /// nursery + both tenured spaces + LOS footprint.
+  size_t footprintBytes() const;
+
+  /// Optional post-collection heap validation (VerifyHeapAfterGC).
+  void maybeVerifyHeap(const char *Phase) const;
+
+  Options Opts;
+  Space NurseryA, NurseryB;
+  Space *NurseryFrom = &NurseryA;
+  Space *NurseryTo = &NurseryB; ///< Reserved only under aged tenuring.
+  Space TenuredA, TenuredB;
+  Space *TenuredFrom = &TenuredA;
+  Space *TenuredTo = &TenuredB;
+  LargeObjectSpace LOS;
+  StoreBuffer SSB;
+  CardTable Cards;
+  std::vector<Word *> LOSDirtySlots; ///< Card-mode overflow for LOS slots.
+  MarkerManager Markers;
+  ScanCache Cache;
+
+  /// Per-site pretenure decision: 0 = no, 1 = pretenure, 2 = pretenure and
+  /// skip the region scan (§7.2).
+  std::vector<uint8_t> PretenureFlag;
+
+  /// Contiguous runs of tenured space allocated into since the last
+  /// collection (paper: "we remember the area of the older generation that
+  /// has been directly allocated into and scan this region").
+  struct Run {
+    Word *Begin; ///< First object header word.
+    Word *End;   ///< One past the last object.
+    bool NoScan;
+  };
+  std::vector<Run> Runs;
+
+  /// Large objects allocated since the last collection; scanned for young
+  /// pointers at the next minor collection (their initializing stores
+  /// bypass the barrier, like the pretenured region's).
+  std::vector<Word *> NewLargeObjects;
+
+  /// Aged tenuring only: old-generation slots that point into the young
+  /// generation because *promotion* created the edge (no mutator barrier
+  /// saw it). Rebuilt at every minor collection; cleared by majors.
+  std::vector<Word *> CrossGenSlots;
+
+  uint64_t LiveBytes = 0;
+  uint64_t LOSAllocSinceGC = 0;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_GENERATIONALCOLLECTOR_H

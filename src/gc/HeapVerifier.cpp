@@ -1,0 +1,102 @@
+//===- gc/HeapVerifier.cpp - Post-collection heap validation ---------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+
+#include "support/Table.h"
+
+using namespace tilgc;
+
+bool HeapVerifier::validPayload(const Word *P) const {
+  for (const Entry &E : Spaces) {
+    if (!E.S->contains(P))
+      continue;
+    // Must lie within the allocated (used) part, past a header.
+    return P >= E.S->firstPayload() && P <= E.S->frontier();
+  }
+  return LOS && LOS->contains(const_cast<Word *>(P));
+}
+
+bool HeapVerifier::validPointer(Word Bits, std::string &Error) const {
+  if (!Bits)
+    return true;
+  if (Bits & 7) {
+    Error = formatString("misaligned pointer %llx",
+                         (unsigned long long)Bits);
+    return false;
+  }
+  const Word *P = reinterpret_cast<const Word *>(Bits);
+  if (!validPayload(P)) {
+    Error = formatString("pointer %llx outside the live heap",
+                         (unsigned long long)Bits);
+    return false;
+  }
+  Word Descriptor = P[-2];
+  if (header::isForwarded(Descriptor)) {
+    Error = formatString("pointer %llx targets a forwarded object",
+                         (unsigned long long)Bits);
+    return false;
+  }
+  if (header::length(Descriptor) > (1u << 28)) {
+    Error = formatString("pointer %llx targets an insane descriptor %llx",
+                         (unsigned long long)Bits,
+                         (unsigned long long)Descriptor);
+    return false;
+  }
+  return true;
+}
+
+bool HeapVerifier::checkObject(Word *Payload, const char *Where,
+                               std::string &Error) const {
+  Word Descriptor = descriptorOf(Payload);
+  if (header::isForwarded(Descriptor)) {
+    Error = formatString("%s: live space holds a forwarded object at %p",
+                         Where, (void *)Payload);
+    return false;
+  }
+  bool OK = true;
+  forEachPointerField(Payload, [&](Word *Field) {
+    if (!OK)
+      return;
+    std::string Inner;
+    if (!validPointer(*Field, Inner)) {
+      Error = formatString("%s: object %p field %d: %s", Where,
+                           (void *)Payload,
+                           static_cast<int>(Field - Payload), Inner.c_str());
+      OK = false;
+    }
+  });
+  return OK;
+}
+
+bool HeapVerifier::verifyHeap(std::string &Error) const {
+  for (const Entry &E : Spaces) {
+    bool OK = true;
+    E.S->walk([&](Word *Payload, Word, bool Forwarded) {
+      if (!OK)
+        return;
+      if (Forwarded) {
+        Error = formatString("%s: forwarded object in live space at %p",
+                             E.Name, (void *)Payload);
+        OK = false;
+        return;
+      }
+      OK = checkObject(Payload, E.Name, Error);
+    });
+    if (!OK)
+      return false;
+  }
+  if (LOS) {
+    bool OK = true;
+    LOS->walk([&](Word *Payload, Word) {
+      if (OK)
+        OK = checkObject(Payload, "LOS", Error);
+    });
+    if (!OK)
+      return false;
+  }
+  return true;
+}

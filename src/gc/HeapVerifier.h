@@ -1,0 +1,64 @@
+//===- gc/HeapVerifier.h - Post-collection heap validation ------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug validation of the whole heap: every object in every live space
+/// must have a sane (non-forwarded) descriptor, and every pointer field,
+/// stack root and register root must point at the payload of a valid
+/// object in a live space. Used by tests and by the collectors' optional
+/// post-GC verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_HEAPVERIFIER_H
+#define TILGC_GC_HEAPVERIFIER_H
+
+#include "heap/LargeObjectSpace.h"
+#include "heap/Space.h"
+#include "object/Object.h"
+
+#include <string>
+#include <vector>
+
+namespace tilgc {
+
+class ShadowStack;
+class RegisterFile;
+
+/// Collects the address ranges that constitute the live heap and checks
+/// object/pointer integrity over them.
+class HeapVerifier {
+public:
+  void addSpace(const Space *S, const char *Name) {
+    Spaces.push_back({S, Name});
+  }
+  void setLOS(const LargeObjectSpace *L) { LOS = L; }
+
+  /// Walks every object in every space (and the LOS): descriptors must be
+  /// valid and every non-null pointer field must target a valid payload.
+  /// Returns true on success; on failure, fills \p Error.
+  bool verifyHeap(std::string &Error) const;
+
+  /// Checks that a single value is null or a valid object payload.
+  bool validPointer(Word Bits, std::string &Error) const;
+
+private:
+  struct Entry {
+    const Space *S;
+    const char *Name;
+  };
+
+  bool validPayload(const Word *P) const;
+  bool checkObject(Word *Payload, const char *Where,
+                   std::string &Error) const;
+
+  std::vector<Entry> Spaces;
+  const LargeObjectSpace *LOS = nullptr;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_HEAPVERIFIER_H

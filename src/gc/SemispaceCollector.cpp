@@ -1,0 +1,116 @@
+//===- gc/SemispaceCollector.cpp - Cheney semispace collector -------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/SemispaceCollector.h"
+
+#include "gc/Evacuator.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace tilgc;
+
+SemispaceCollector::SemispaceCollector(const CollectorEnv &Env,
+                                       const Options &Opts)
+    : Collector(Env), Opts(Opts), Markers(Opts.MarkerPeriod) {
+  Markers.setAdaptive(Opts.AdaptiveMarkerPlacement);
+  size_t PerSpace =
+      std::clamp<size_t>(Opts.BudgetBytes / 2, 16u << 10, 4u << 20);
+  SpaceA.reserve(PerSpace);
+  SpaceB.reserve(PerSpace);
+}
+
+Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
+                                   uint32_t PtrMask, uint32_t SiteId) {
+  Word Descriptor = header::make(Kind, LenWords, PtrMask);
+  Word Meta = makeMeta(SiteId);
+  Word *Payload = Active->allocate(Descriptor, Meta);
+  if (TILGC_UNLIKELY(!Payload)) {
+    collectInternal(objectTotalBytes(Descriptor));
+    // Remake the metadata: the birth stamp may have ticked past a KB
+    // boundary, and more importantly the collection consumed the old one.
+    Meta = makeMeta(SiteId);
+    Payload = Active->allocate(Descriptor, Meta);
+    assert(Payload && "allocation failed after forced growth");
+  }
+  accountAllocation(Kind, Descriptor, SiteId);
+  std::memset(Payload, 0, static_cast<size_t>(LenWords) * sizeof(Word));
+  return Payload;
+}
+
+void SemispaceCollector::collect(bool Major) {
+  (void)Major; // Semispace collections are always full collections.
+  collectInternal(0);
+}
+
+void SemispaceCollector::collectInternal(size_t NeedBytes) {
+  TimerScope GcScope(Stats.GcTime);
+  ++Stats.NumGC;
+  ++Stats.NumMajorGC;
+  accountStackAtGC();
+
+  // Root scan.
+  {
+    TimerScope StackScope(Stats.StackTime);
+    LastScan = ScanStats();
+    bool UseMarkers = Opts.UseStackMarkers;
+    StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
+                       UseMarkers ? &Cache : nullptr, Roots, LastScan);
+    Stats.FramesScanned += LastScan.FramesScanned;
+    Stats.FramesReused += LastScan.FramesReused;
+    Stats.SlotsVisited += LastScan.SlotsVisited;
+  }
+
+  // Make sure the to-space can absorb the worst case (everything live)
+  // plus the allocation that triggered us.
+  size_t WorstCase = Active->usedBytes() + NeedBytes;
+  if (Inactive->capacityBytes() < WorstCase) {
+    if (WorstCase * 2 > Opts.BudgetBytes)
+      ++Stats.BudgetOverruns;
+    Inactive->reserve(WorstCase);
+  }
+
+  // Copy phase. Every object moves, so reused stack roots are processed
+  // too — the marker win here is only the avoided re-decoding.
+  {
+    TimerScope CopyScope(Stats.CopyTime);
+    Evacuator::Config C;
+    C.From = {Active, nullptr, nullptr};
+    C.Dest = Inactive;
+    C.Profiler = Env.Profiler;
+    C.CountSurvivedFirst = true;
+    Evacuator E(C);
+    for (Word *Slot : Roots.FreshSlotRoots)
+      E.forwardSlot(Slot);
+    for (Word *Slot : Roots.ReusedSlotRoots)
+      E.forwardSlot(Slot);
+    for (unsigned R : Roots.RegRoots)
+      E.forwardSlot(&(*Env.Regs)[R]);
+    E.drain();
+    Stats.BytesCopied += E.bytesCopied();
+    Stats.ObjectsCopied += E.objectsCopied();
+  }
+
+  sweepDeaths(*Active);
+
+  LiveBytes = Inactive->usedBytes();
+  if (LiveBytes > Stats.MaxLiveBytes)
+    Stats.MaxLiveBytes = LiveBytes;
+
+  // Swap and resize. Resizing toward r = TargetLiveness means sizing each
+  // semispace at live/r; the empty space is resized now, the full one
+  // catches up at the next collection.
+  std::swap(Active, Inactive);
+  size_t Desired = static_cast<size_t>(
+      static_cast<double>(LiveBytes) / Opts.TargetLiveness);
+  size_t MinSize = LiveBytes + NeedBytes + (4u << 10);
+  size_t MaxSize = std::max<size_t>(Opts.BudgetBytes / 2, MinSize);
+  Desired = std::clamp(Desired, MinSize, MaxSize);
+  Inactive->reserve(Desired);
+  // Shrink the live space too (soft limit): a factor below 1 must take
+  // effect even though the storage cannot be reallocated under the data.
+  Active->setSoftLimitBytes(Desired);
+}

@@ -1,0 +1,69 @@
+//===- gc/SemispaceCollector.h - Cheney semispace collector -----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's first baseline: a semispace collector (Fenichel & Yochelson
+/// 1969) using Cheney's algorithm, with the resizing strategy of §2.1:
+/// after a collection with observed liveness ratio r', the heap is resized
+/// by r'/r toward a target liveness ratio of r = 0.10, clamped to the
+/// memory budget k*Min.
+///
+/// Generational stack collection is optional here too (§7.1: "can also be
+/// used with non-generational collectors"): reused frames skip re-decoding,
+/// though their roots must still be processed since every object moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_SEMISPACECOLLECTOR_H
+#define TILGC_GC_SEMISPACECOLLECTOR_H
+
+#include "gc/Collector.h"
+#include "heap/Space.h"
+
+namespace tilgc {
+
+/// Two-space copying collector.
+class SemispaceCollector : public Collector {
+public:
+  struct Options {
+    /// Total memory budget (both semispaces together): the paper's k*Min.
+    size_t BudgetBytes = 64u << 20;
+    /// Target liveness ratio r (paper: 0.10).
+    double TargetLiveness = 0.10;
+    /// Generational stack collection (§7.1).
+    bool UseStackMarkers = false;
+    unsigned MarkerPeriod = 25;
+    bool AdaptiveMarkerPlacement = false;
+  };
+
+  SemispaceCollector(const CollectorEnv &Env, const Options &Opts);
+
+  Word *allocate(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
+                 uint32_t SiteId) override;
+  void writeBarrier(Word *Slot) override { (void)Slot; }
+  void collect(bool Major) override;
+  uint64_t liveBytesAfterLastGC() const override { return LiveBytes; }
+  MarkerManager *markerManager() override {
+    return Opts.UseStackMarkers ? &Markers : nullptr;
+  }
+
+private:
+  /// Runs one collection, guaranteeing at least \p NeedBytes of free space
+  /// afterwards (growing past the budget if unavoidable).
+  void collectInternal(size_t NeedBytes);
+
+  Options Opts;
+  Space SpaceA, SpaceB;
+  Space *Active = &SpaceA;
+  Space *Inactive = &SpaceB;
+  uint64_t LiveBytes = 0;
+  MarkerManager Markers;
+  ScanCache Cache;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_SEMISPACECOLLECTOR_H

@@ -1,0 +1,43 @@
+//===- heap/LargeObjectSpace.cpp - Mark-sweep large-object space ---------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/LargeObjectSpace.h"
+
+#include <cstdlib>
+
+using namespace tilgc;
+
+LargeObjectSpace::~LargeObjectSpace() {
+  for (const Entry &E : Objects)
+    releaseBlock(E.Payload);
+}
+
+Word *LargeObjectSpace::allocate(Word Descriptor, Word Meta) {
+  uint32_t Total = objectTotalWords(Descriptor);
+  Word *Block = static_cast<Word *>(std::malloc(Total * sizeof(Word)));
+  assert(Block && "out of host memory");
+  Word *Payload = Block + HeaderWords;
+  Block[0] = Descriptor;
+  Block[1] = Meta;
+  Index.emplace(Payload, Objects.size());
+  Objects.push_back(Entry{Payload, /*Marked=*/false});
+  LiveBytes += objectTotalBytes(Descriptor);
+  return Payload;
+}
+
+bool LargeObjectSpace::mark(Word *Payload) {
+  auto It = Index.find(Payload);
+  assert(It != Index.end() && "marking an object not in the LOS");
+  Entry &E = Objects[It->second];
+  if (E.Marked)
+    return false;
+  E.Marked = true;
+  return true;
+}
+
+void LargeObjectSpace::releaseBlock(Word *Payload) {
+  std::free(Payload - HeaderWords);
+}

@@ -1,0 +1,30 @@
+//===- heap/Space.cpp - Bump-pointer allocation space --------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Space.h"
+
+#include <cstdlib>
+
+using namespace tilgc;
+
+void Space::reserve(size_t Bytes) {
+  release();
+  size_t Words = (Bytes + sizeof(Word) - 1) / sizeof(Word);
+  if (Words == 0)
+    Words = HeaderWords;
+  Base = static_cast<Word *>(std::malloc(Words * sizeof(Word)));
+  assert(Base && "out of host memory");
+  assert((reinterpret_cast<uintptr_t>(Base) & 7) == 0 &&
+         "space must be word-aligned");
+  Next = Base;
+  Limit = Base + Words;
+  SoftLimit = Limit;
+}
+
+void Space::release() {
+  std::free(Base);
+  Base = Next = Limit = SoftLimit = nullptr;
+}

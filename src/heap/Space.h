@@ -1,0 +1,112 @@
+//===- heap/Space.h - Bump-pointer allocation space ------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A contiguous bump-pointer space. Semispace collectors own two of these;
+/// the generational collector owns one for the nursery and two for the
+/// tenured generation. Spaces are linearly walkable, which the Cheney scan,
+/// the profiler's death sweep, and the heap verifier all rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_HEAP_SPACE_H
+#define TILGC_HEAP_SPACE_H
+
+#include "object/Object.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace tilgc {
+
+/// A contiguous block of words with bump-pointer allocation.
+class Space {
+public:
+  Space() = default;
+  ~Space() { release(); }
+
+  Space(const Space &) = delete;
+  Space &operator=(const Space &) = delete;
+
+  /// Allocates backing storage for \p Bytes (rounded up to a word multiple).
+  /// Any previous storage (and its contents) is discarded.
+  void reserve(size_t Bytes);
+
+  /// Frees the backing storage.
+  void release();
+
+  /// Allocates an object with \p PayloadWords payload words and installs the
+  /// header. Returns the payload pointer, or nullptr if the space is full
+  /// (past its soft limit, if one is set).
+  Word *allocate(Word Descriptor, Word Meta) {
+    uint32_t Total = objectTotalWords(Descriptor);
+    if (TILGC_UNLIKELY(Next + Total > SoftLimit))
+      return nullptr;
+    Word *Payload = Next + HeaderWords;
+    Next[0] = Descriptor;
+    Next[1] = Meta;
+    Next += Total;
+    return Payload;
+  }
+
+  /// True if \p P points into this space's storage.
+  bool contains(const Word *P) const { return P >= Base && P < Limit; }
+
+  /// Empties the space (objects become garbage; storage is retained).
+  void reset() { Next = Base; }
+
+  /// Caps allocation at \p Bytes without releasing storage — how the
+  /// semispace collector shrinks a space that still holds live data (the
+  /// paper's r'/r resize with a factor below 1). Cleared by reserve().
+  void setSoftLimitBytes(size_t Bytes) {
+    size_t Words = Bytes / sizeof(Word);
+    SoftLimit = Base + Words > Limit ? Limit : Base + Words;
+    if (SoftLimit < Next)
+      SoftLimit = Next;
+  }
+
+  size_t capacityBytes() const {
+    return static_cast<size_t>(Limit - Base) * sizeof(Word);
+  }
+  size_t usedBytes() const {
+    return static_cast<size_t>(Next - Base) * sizeof(Word);
+  }
+  size_t freeBytes() const { return capacityBytes() - usedBytes(); }
+  bool empty() const { return Next == Base; }
+
+  /// First object payload (for linear walks).
+  Word *firstPayload() const { return Base + HeaderWords; }
+  /// One-past-the-end allocation frontier.
+  Word *frontier() const { return Next; }
+
+  /// Walks every object in allocation order, invoking
+  /// \p Fn(PayloadPtr, LiveDescriptor, IsForwarded). For forwarded objects
+  /// the descriptor is fetched from the copy so the walk can still compute
+  /// sizes (the profiler's death sweep walks a from-space after a copy).
+  template <typename FnT> void walk(FnT Fn) const {
+    Word *P = Base;
+    while (P < Next) {
+      Word *Payload = P + HeaderWords;
+      Word Descriptor = Payload[-2];
+      bool Forwarded = header::isForwarded(Descriptor);
+      if (Forwarded)
+        Descriptor = descriptorOf(header::forwardTarget(Descriptor));
+      Fn(Payload, Descriptor, Forwarded);
+      P += objectTotalWords(Descriptor);
+    }
+    assert(P == Next && "object walk overran the frontier");
+  }
+
+private:
+  Word *Base = nullptr;
+  Word *Next = nullptr;
+  Word *Limit = nullptr;
+  Word *SoftLimit = nullptr;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_HEAP_SPACE_H

@@ -1,0 +1,55 @@
+//===- heap/StoreBuffer.h - Sequential store buffer ------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's write barrier: a sequential store buffer (Appel 1989). The
+/// mutator unconditionally appends the address of every mutated pointer slot;
+/// the collector filters the buffer at each collection. Duplicates are NOT
+/// removed — that is precisely the pathology the paper observes on Peg
+/// (2.97M pointer updates flooding root processing), and the card-table
+/// variant in heap/CardTable.h exists to demonstrate the suggested fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_HEAP_STOREBUFFER_H
+#define TILGC_HEAP_STOREBUFFER_H
+
+#include "object/Object.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tilgc {
+
+/// An unconditional, duplicate-keeping log of mutated pointer slots.
+class StoreBuffer {
+public:
+  /// Records that the pointer slot at \p Slot was updated.
+  void record(Word *Slot) {
+    Entries.push_back(Slot);
+    ++TotalRecorded;
+  }
+
+  const std::vector<Word *> &entries() const { return Entries; }
+
+  /// Discards the logged entries (called after each collection).
+  void clear() { Entries.clear(); }
+
+  /// Number of entries currently pending.
+  size_t size() const { return Entries.size(); }
+
+  /// Lifetime count of recorded updates (Table 2's "Number of Pointer
+  /// Updates" column).
+  uint64_t totalRecorded() const { return TotalRecorded; }
+
+private:
+  std::vector<Word *> Entries;
+  uint64_t TotalRecorded = 0;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_HEAP_STOREBUFFER_H

@@ -1,0 +1,32 @@
+//===- profile/AllocSite.cpp - Allocation-site registry -------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/AllocSite.h"
+
+using namespace tilgc;
+
+AllocSiteRegistry &AllocSiteRegistry::global() {
+  static AllocSiteRegistry Registry;
+  return Registry;
+}
+
+AllocSiteRegistry::AllocSiteRegistry() {
+  // Id 0 is the runtime's own site (type descriptors and friends).
+  Names.push_back("<runtime>");
+}
+
+uint32_t AllocSiteRegistry::define(std::string Name) {
+  uint32_t Id = static_cast<uint32_t>(Names.size());
+  Names.push_back(std::move(Name));
+  return Id;
+}
+
+uint32_t AllocSiteRegistry::lookup(const std::string &Name) const {
+  for (uint32_t I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  return UINT32_MAX;
+}

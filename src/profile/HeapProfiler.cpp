@@ -1,0 +1,194 @@
+//===- profile/HeapProfiler.cpp - Lifetime heap profiling -----------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/HeapProfiler.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <unordered_set>
+
+using namespace tilgc;
+
+const SiteStats &HeapProfiler::site(uint32_t Id) const {
+  static const SiteStats Empty;
+  if (Id >= Stats.size())
+    return Empty;
+  return Stats[Id];
+}
+
+uint64_t HeapProfiler::totalAllocBytes() const {
+  uint64_t Total = 0;
+  for (const SiteStats &S : Stats)
+    Total += S.AllocBytes;
+  return Total;
+}
+
+uint64_t HeapProfiler::totalCopiedBytes() const {
+  uint64_t Total = 0;
+  for (const SiteStats &S : Stats)
+    Total += S.CopiedBytes;
+  return Total;
+}
+
+std::vector<PretenureDecision>
+HeapProfiler::derivePretenureSet(double OldCutoff, uint64_t MinObjects) const {
+  // Step 1: the pretenure set S = sites whose old% >= cutoff.
+  std::unordered_set<uint32_t> Chosen;
+  for (uint32_t Id = 0; Id < Stats.size(); ++Id) {
+    const SiteStats &S = Stats[Id];
+    if (S.AllocCount >= MinObjects && S.oldFraction() >= OldCutoff)
+      Chosen.insert(Id);
+  }
+
+  // Step 2 (§7.2): scan elimination for sites s with P(s) ⊆ S. Removing a
+  // site from S (we never do) would invalidate others, but adding never
+  // does, so a single pass over the recorded referent sets suffices.
+  std::vector<PretenureDecision> Decisions;
+  for (uint32_t Id : Chosen) {
+    bool Closed = true;
+    for (uint32_t Ref : Stats[Id].ReferentSites) {
+      if (!Chosen.count(Ref)) {
+        Closed = false;
+        break;
+      }
+    }
+    Decisions.push_back(PretenureDecision{Id, Closed});
+  }
+  std::sort(Decisions.begin(), Decisions.end(),
+            [](const PretenureDecision &A, const PretenureDecision &B) {
+              return A.SiteId < B.SiteId;
+            });
+  return Decisions;
+}
+
+void HeapProfiler::report(std::FILE *Out, const std::string &Title,
+                          double DisplayCutoffPercent,
+                          double OldCutoff) const {
+  uint64_t TotalAlloc = totalAllocBytes();
+  uint64_t TotalCopied = totalCopiedBytes();
+  double AllocDen = TotalAlloc ? static_cast<double>(TotalAlloc) : 1.0;
+  double CopiedDen = TotalCopied ? static_cast<double>(TotalCopied) : 1.0;
+
+  std::fprintf(Out, "================ %s ================\n", Title.c_str());
+  std::fprintf(Out,
+               "%-28s %7s %12s %10s %7s %9s %12s %8s %13s\n",
+               "site", "alloc%", "alloc size", "alloc cnt", "%old",
+               "avg age", "copied size", "copied%", "copied/alloc");
+
+  // Display order: bulk allocators first (by alloc bytes), like Figure 2.
+  std::vector<uint32_t> Order;
+  for (uint32_t Id = 0; Id < Stats.size(); ++Id)
+    Order.push_back(Id);
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return Stats[A].AllocBytes > Stats[B].AllocBytes;
+  });
+
+  size_t Shown = 0;
+  for (uint32_t Id : Order) {
+    const SiteStats &S = Stats[Id];
+    double AllocPct = 100.0 * static_cast<double>(S.AllocBytes) / AllocDen;
+    double CopiedPct = 100.0 * static_cast<double>(S.CopiedBytes) / CopiedDen;
+    if (AllocPct <= DisplayCutoffPercent && CopiedPct <= DisplayCutoffPercent)
+      continue;
+    ++Shown;
+    const std::string &Name = AllocSiteRegistry::global().nameOrUnknown(Id);
+    bool Targeted = S.oldFraction() >= OldCutoff;
+    std::fprintf(Out,
+                 "%-28s %6.2f%% %12" PRIu64 " %10" PRIu64
+                 " %6.2f %9.1f %12" PRIu64 " %7.2f%% %12.2f%s\n",
+                 Name.c_str(), AllocPct, S.AllocBytes, S.AllocCount,
+                 100.0 * S.oldFraction(), S.avgDeathAgeKB(), S.CopiedBytes,
+                 CopiedPct,
+                 S.AllocBytes ? static_cast<double>(S.CopiedBytes) /
+                                    static_cast<double>(S.AllocBytes)
+                              : 0.0,
+                 Targeted ? "  <--" : "");
+  }
+
+  // Footer: the paper's summary lines.
+  uint64_t TargetAlloc = 0, TargetCopied = 0;
+  size_t NumSitesWithAllocs = 0;
+  for (const SiteStats &S : Stats) {
+    if (S.AllocCount == 0)
+      continue;
+    ++NumSitesWithAllocs;
+    if (S.oldFraction() >= OldCutoff) {
+      TargetAlloc += S.AllocBytes;
+      TargetCopied += S.CopiedBytes;
+    }
+  }
+  std::fprintf(Out, "---------- heap profile end : short ----------\n");
+  std::fprintf(Out, "Showing only entries with alloc %% > %.2f\n",
+               DisplayCutoffPercent);
+  std::fprintf(Out, "   or with copy %% > %.2f\n", DisplayCutoffPercent);
+  std::fprintf(Out, "%zu of %zu entries displayed.\n", Shown,
+               NumSitesWithAllocs);
+  std::fprintf(Out, "Using a (%% old) cutoff of %.0f%%,\n", 100.0 * OldCutoff);
+  std::fprintf(Out,
+               "targeted sites comprise %.2f%% copied and %.2f%% allocated.\n",
+               100.0 * static_cast<double>(TargetCopied) / CopiedDen,
+               100.0 * static_cast<double>(TargetAlloc) / AllocDen);
+  std::fputc('\n', Out);
+}
+
+bool HeapProfiler::save(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (uint32_t Id = 0; Id < Stats.size(); ++Id) {
+    const SiteStats &S = Stats[Id];
+    if (S.AllocCount == 0)
+      continue;
+    std::fprintf(F,
+                 "site %" PRIu32 " %s %" PRIu64 " %" PRIu64 " %" PRIu64
+                 " %" PRIu64 " %" PRIu64 " %" PRIu64,
+                 Id, AllocSiteRegistry::global().nameOrUnknown(Id).c_str(),
+                 S.AllocBytes, S.AllocCount, S.CopiedBytes,
+                 S.SurvivedFirstCount, S.DeathCount, S.DeathAgeKBSum);
+    for (uint32_t Ref : S.ReferentSites)
+      std::fprintf(F, " %" PRIu32, Ref);
+    std::fputc('\n', F);
+  }
+  std::fclose(F);
+  return true;
+}
+
+bool HeapProfiler::load(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  reset();
+  char Name[256];
+  uint32_t Id;
+  SiteStats S;
+  // Line format: "site <id> <name> <allocB> <allocN> <copiedB> <survN>
+  // <deathN> <ageSum> <ref>*".
+  while (std::fscanf(F,
+                     "site %" SCNu32 " %255s %" SCNu64 " %" SCNu64 " %" SCNu64
+                     " %" SCNu64 " %" SCNu64 " %" SCNu64,
+                     &Id, Name, &S.AllocBytes, &S.AllocCount, &S.CopiedBytes,
+                     &S.SurvivedFirstCount, &S.DeathCount,
+                     &S.DeathAgeKBSum) == 8) {
+    SiteStats &Dest = statsFor(Id);
+    Dest = S;
+    Dest.ReferentSites.clear();
+    // Referent ids follow until end of line.
+    int C;
+    uint32_t Ref;
+    while ((C = std::fgetc(F)) == ' ') {
+      if (std::fscanf(F, "%" SCNu32, &Ref) == 1)
+        Dest.ReferentSites.insert(Ref);
+      else
+        break;
+    }
+    if (C != '\n' && C != EOF)
+      std::ungetc(C, F);
+  }
+  std::fclose(F);
+  return true;
+}

@@ -1,0 +1,73 @@
+//===- runtime/Mutator.cpp - The mutator-facing runtime API ---------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutator.h"
+
+using namespace tilgc;
+
+Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
+  if (Config.EnableProfiling)
+    Profiler = std::make_unique<HeapProfiler>();
+
+  CollectorEnv Env;
+  Env.Stack = &Stack;
+  Env.Regs = &Regs;
+  Env.Profiler = Profiler.get();
+
+  switch (Config.Kind) {
+  case CollectorKind::Semispace: {
+    SemispaceCollector::Options Opts;
+    Opts.BudgetBytes = Config.BudgetBytes;
+    Opts.TargetLiveness = Config.SemispaceTargetLiveness;
+    Opts.UseStackMarkers = Config.UseStackMarkers;
+    Opts.MarkerPeriod = Config.MarkerPeriod;
+    Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
+    GC = std::make_unique<SemispaceCollector>(Env, Opts);
+    break;
+  }
+  case CollectorKind::Generational: {
+    GenerationalCollector::Options Opts;
+    Opts.BudgetBytes = Config.BudgetBytes;
+    Opts.NurseryLimitBytes = Config.NurseryLimitBytes;
+    Opts.TenuredTargetLiveness = Config.TenuredTargetLiveness;
+    Opts.LargeObjectThresholdBytes = Config.LargeObjectThresholdBytes;
+    Opts.UseStackMarkers = Config.UseStackMarkers;
+    Opts.MarkerPeriod = Config.MarkerPeriod;
+    Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
+    Opts.Barrier = Config.Barrier;
+    Opts.PromoteAgeThreshold = Config.PromoteAgeThreshold;
+    Opts.Pretenure = Config.Pretenure;
+    Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;
+    Opts.VerifyHeapAfterGC = Config.VerifyHeapAfterGC;
+    GC = std::make_unique<GenerationalCollector>(Env, Opts);
+    break;
+  }
+  }
+}
+
+Mutator::~Mutator() = default;
+
+void Mutator::raise(Value Exn) {
+  assert(!Handlers.empty() && "uncaught ML exception");
+  HandlerEntry H = Handlers.back();
+  Handlers.pop_back();
+  ++NumRaises;
+
+  // Size the target frame before touching the marker set (its key slot may
+  // hold a stub key if the collector marked it).
+  MarkerManager *MM = GC->markerManager();
+  uint32_t Key =
+      MM ? MM->resolveKey(Stack, H.FrameBase) : Stack.keyOf(H.FrameBase);
+  uint32_t NumSlots = TraceTableRegistry::global().lookup(Key).numSlots();
+
+  // Control jumps past the intervening frames without executing their
+  // returns: retire jumped-over markers and update the watermark M (§5).
+  if (MM)
+    MM->onUnwind(H.FrameBase);
+  Stack.unwindTo(H.FrameBase, NumSlots);
+
+  throw MLRaise{Exn, H.Id};
+}

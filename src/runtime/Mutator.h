@@ -1,0 +1,307 @@
+//===- runtime/Mutator.h - The mutator-facing runtime API -------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime facade workloads program against: allocation entry points,
+/// barriered field writes, activation-record management, the register file,
+/// and SML-style exceptions. This is the C++ stand-in for the code a
+/// TIL-compiled SML program would execute.
+///
+/// ## The pointer-slot discipline
+///
+/// Collections move objects. Any heap pointer that must survive a possible
+/// collection (i.e. any allocation) must live in a Frame slot — never in a
+/// C++ local — and be re-read from the slot after each allocation:
+///
+/// \code
+///   Frame F(M, KeyCons);            // push an activation record
+///   F.set(1, Xs);                   // pointer local in a Pointer slot
+///   Value Cell = M.allocRecord(SiteCons, 2, /*PtrMask=*/0b10);
+///   M.initField(Cell, 0, Value::fromInt(42));
+///   M.initField(Cell, 1, F.get(1)); // re-read after the allocation
+/// \endcode
+///
+/// ## Exceptions
+///
+/// Mutator::raise unwinds the shadow stack directly to the innermost
+/// handler — one jump, exactly like a compiled `raise` — retiring
+/// jumped-over stack markers and updating the watermark M (paper §5). The
+/// C++ stack is unwound by a (contained) C++ exception; Frame destructors
+/// detect in-flight unwinding and skip their pop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_RUNTIME_MUTATOR_H
+#define TILGC_RUNTIME_MUTATOR_H
+
+#include "gc/Collector.h"
+#include "gc/GenerationalCollector.h"
+#include "gc/SemispaceCollector.h"
+#include "object/Object.h"
+#include "profile/AllocSite.h"
+#include "profile/HeapProfiler.h"
+#include "stack/RegisterFile.h"
+#include "stack/ShadowStack.h"
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+namespace tilgc {
+
+/// Which collector a mutator runs on.
+enum class CollectorKind { Semispace, Generational };
+
+/// Everything configurable about a runtime instance; defaults mirror the
+/// paper's setup.
+struct MutatorConfig {
+  CollectorKind Kind = CollectorKind::Generational;
+  /// Total memory budget: the paper's k*Min.
+  size_t BudgetBytes = 64u << 20;
+  /// Generational stack collection (§5).
+  bool UseStackMarkers = false;
+  unsigned MarkerPeriod = 25;
+  /// §7.1 dynamic marker placement (adaptive period).
+  bool AdaptiveMarkerPlacement = false;
+  /// Pretenuring decisions (§6); generational only.
+  std::vector<PretenureDecision> Pretenure;
+  /// Write barrier flavor; generational only.
+  GenerationalCollector::BarrierKind Barrier =
+      GenerationalCollector::BarrierKind::SequentialStoreBuffer;
+  /// 1 = promote-all; >1 = aged-tenuring ablation.
+  unsigned PromoteAgeThreshold = 1;
+  size_t NurseryLimitBytes = 512u << 10;
+  size_t LargeObjectThresholdBytes = 4096;
+  double SemispaceTargetLiveness = 0.10;
+  double TenuredTargetLiveness = 0.3;
+  /// Attach a heap profiler (slows the run; paper: 50-200%).
+  bool EnableProfiling = false;
+  /// Debug: verify the §5 reused-root invariant at each minor collection.
+  bool VerifyReuseInvariant = false;
+  /// Debug: walk and validate the whole heap after every collection.
+  bool VerifyHeapAfterGC = false;
+};
+
+/// The value an SML `raise` transports, plus the handler it targets. Thrown
+/// by Mutator::raise after the shadow stack has already been unwound.
+struct MLRaise {
+  Value Exn;
+  uint64_t HandlerId;
+};
+
+class Frame;
+
+/// One runtime instance: heap + stack + registers + collector.
+class Mutator {
+public:
+  explicit Mutator(const MutatorConfig &Config = MutatorConfig());
+  ~Mutator();
+  Mutator(const Mutator &) = delete;
+  Mutator &operator=(const Mutator &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Allocation. Every entry point may collect; re-read pointers from frame
+  // slots afterwards. Payloads are zeroed.
+  //===--------------------------------------------------------------------===
+
+  /// A record of \p NumFields fields; bit i of \p PtrMask marks field i as
+  /// a pointer.
+  Value allocRecord(uint32_t Site, uint32_t NumFields, uint32_t PtrMask) {
+    return Value::fromPtr(
+        GC->allocate(ObjectKind::Record, NumFields, PtrMask, Site));
+  }
+
+  /// An array of \p NumElems pointers (initially null).
+  Value allocPtrArray(uint32_t Site, uint32_t NumElems) {
+    return Value::fromPtr(
+        GC->allocate(ObjectKind::PtrArray, NumElems, 0, Site));
+  }
+
+  /// An array of \p NumWords raw words (unboxed ints / doubles / bytes).
+  Value allocNonPtrArray(uint32_t Site, uint32_t NumWords) {
+    return Value::fromPtr(
+        GC->allocate(ObjectKind::NonPtrArray, NumWords, 0, Site));
+  }
+
+  /// A runtime type descriptor for Compute traces: a one-field record whose
+  /// field says whether the described value is a pointer.
+  Value allocTypeDesc(bool DescribesPointer) {
+    Value D = allocRecord(RuntimeSiteId, 1, 0);
+    initField(D, 0, Value::fromInt(DescribesPointer ? 1 : 0));
+    return D;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Field access.
+  //===--------------------------------------------------------------------===
+
+  static Value getField(Value Obj, uint32_t I) {
+    assert(!Obj.isNull() && I < header::length(descriptorOf(Obj.asPtr())) &&
+           "field index out of range");
+    return Value::fromBits(Obj.asPtr()[I]);
+  }
+
+  /// Initializing store into a fresh object (no barrier; the collector
+  /// scans freshly pretenured regions and new large objects instead).
+  void initField(Value Obj, uint32_t I, Value V) {
+    assert(!Obj.isNull() && I < header::length(descriptorOf(Obj.asPtr())) &&
+           "field index out of range");
+    Obj.asPtr()[I] = V.bits();
+  }
+
+  /// Mutating store. Pointer stores go through the write barrier and are
+  /// counted (Table 2's "Number of Pointer Updates").
+  void writeField(Value Obj, uint32_t I, Value V, bool IsPointerField) {
+    assert(!Obj.isNull() && I < header::length(descriptorOf(Obj.asPtr())) &&
+           "field index out of range");
+    Word *Slot = &Obj.asPtr()[I];
+    *Slot = V.bits();
+    if (IsPointerField) {
+      ++NumPointerUpdates;
+      GC->writeBarrier(Slot);
+    }
+  }
+
+  /// Payload length in words/elements.
+  static uint32_t objectLength(Value Obj) {
+    assert(!Obj.isNull() && "length of null");
+    return header::length(descriptorOf(Obj.asPtr()));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Registers.
+  //===--------------------------------------------------------------------===
+
+  void setRegister(unsigned R, Value V) { Regs[R] = V.bits(); }
+  Value getRegister(unsigned R) const { return Value::fromBits(Regs[R]); }
+
+  //===--------------------------------------------------------------------===
+  // Activation records (used via the Frame RAII class).
+  //===--------------------------------------------------------------------===
+
+  size_t pushFrame(uint32_t Key) {
+    const FrameLayout &L = TraceTableRegistry::global().lookup(Key);
+    return Stack.pushFrame(Key, L.numSlots());
+  }
+
+  void popFrame(size_t Base) {
+    assert((Handlers.empty() || Handlers.back().FrameBase != Base) &&
+           "popping a frame with a live exception handler");
+    uint32_t Key = Stack.keyOf(Base);
+    if (TILGC_UNLIKELY(Key == StubKey)) {
+      // The "stub function" of §5: a marked frame is returning.
+      MarkerManager *MM = GC->markerManager();
+      assert(MM && "stub key without stack markers");
+      Key = MM->onStubPop(Base);
+      Stack.setKey(Base, Key);
+    }
+    Stack.popFrame(Base);
+  }
+
+  //===--------------------------------------------------------------------===
+  // SML-style exceptions.
+  //===--------------------------------------------------------------------===
+
+  /// Registers an exception handler on the frame at \p FrameBase (must be
+  /// the topmost frame). Returns the id to match in the catch clause and to
+  /// pass to popHandler on normal exit.
+  uint64_t pushHandler(size_t FrameBase) {
+    assert(FrameBase == Stack.topFrameBase() &&
+           "handlers live on the current frame");
+    Handlers.push_back(HandlerEntry{FrameBase, ++NextHandlerId});
+    return NextHandlerId;
+  }
+
+  /// Deregisters a handler on the normal (non-raising) path.
+  void popHandler(uint64_t Id) {
+    assert(!Handlers.empty() && Handlers.back().Id == Id &&
+           "handler discipline violated");
+    (void)Id;
+    Handlers.pop_back();
+  }
+
+  /// Raises \p Exn: unwinds the shadow stack directly to the innermost
+  /// handler's frame (one jump, as compiled code would), then throws MLRaise
+  /// to unwind the mirrored C++ stack.
+  [[noreturn]] void raise(Value Exn);
+
+  //===--------------------------------------------------------------------===
+  // Introspection / control.
+  //===--------------------------------------------------------------------===
+
+  void collect(bool Major = false) { GC->collect(Major); }
+
+  GcStats &gcStats() { return GC->stats(); }
+  const GcStats &gcStats() const { return GC->stats(); }
+  Collector &collector() { return *GC; }
+  ShadowStack &stack() { return Stack; }
+  RegisterFile &registers() { return Regs; }
+  HeapProfiler *profiler() { return Profiler.get(); }
+  uint64_t pointerUpdates() const { return NumPointerUpdates; }
+  uint64_t raises() const { return NumRaises; }
+  const MutatorConfig &config() const { return Config; }
+
+private:
+  struct HandlerEntry {
+    size_t FrameBase;
+    uint64_t Id;
+  };
+
+  MutatorConfig Config;
+  ShadowStack Stack;
+  RegisterFile Regs;
+  std::unique_ptr<HeapProfiler> Profiler;
+  std::unique_ptr<Collector> GC;
+  std::vector<HandlerEntry> Handlers;
+  uint64_t NextHandlerId = 0;
+  uint64_t NumPointerUpdates = 0;
+  uint64_t NumRaises = 0;
+};
+
+/// RAII activation record. See the file comment for the discipline.
+class Frame {
+public:
+  Frame(Mutator &M, uint32_t Key)
+      : M(M), ExnDepth(std::uncaught_exceptions()) {
+    FrameBase = M.pushFrame(Key);
+  }
+  ~Frame() {
+    // If an ML raise is unwinding the C++ stack, the shadow stack was
+    // already unwound in one jump; skip the individual pop.
+    if (std::uncaught_exceptions() > ExnDepth)
+      return;
+    M.popFrame(FrameBase);
+  }
+  Frame(const Frame &) = delete;
+  Frame &operator=(const Frame &) = delete;
+
+  Value get(unsigned Slot) const {
+    return Value::fromBits(M.stack().slot(FrameBase, Slot));
+  }
+  void set(unsigned Slot, Value V) {
+    // Compiled code can only store into its own (topmost) activation
+    // record; writing an ancestor frame's slot would break the §5 invariant
+    // that frames below a stack marker are unchanged. Mutable state shared
+    // with callees goes through a heap ref cell, as in SML.
+    assert(M.stack().topFrameBase() == FrameBase &&
+           "stores into non-top frames are impossible in compiled code; "
+           "use a heap ref cell instead");
+    M.stack().slot(FrameBase, Slot) = V.bits();
+  }
+  void setInt(unsigned Slot, int64_t I) { set(Slot, Value::fromInt(I)); }
+  int64_t getInt(unsigned Slot) const { return get(Slot).asInt(); }
+
+  size_t base() const { return FrameBase; }
+
+private:
+  Mutator &M;
+  size_t FrameBase;
+  int ExnDepth;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_RUNTIME_MUTATOR_H

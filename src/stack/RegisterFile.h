@@ -1,0 +1,54 @@
+//===- stack/RegisterFile.h - Simulated register file -----------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated general-purpose register file. Registers exist so that the
+/// callee-save discipline — the reason TIL's stack scan is two-pass — has
+/// something real to chain through: a register's pointer status at any frame
+/// depends on the register definitions of the frames below it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_STACK_REGISTERFILE_H
+#define TILGC_STACK_REGISTERFILE_H
+
+#include "object/Object.h"
+#include "stack/TraceTable.h"
+
+#include <cassert>
+
+namespace tilgc {
+
+/// A fixed file of NumRegisters machine words.
+class RegisterFile {
+public:
+  Word &operator[](unsigned R) {
+    assert(R < NumRegisters && "register index out of range");
+    return Regs[R];
+  }
+  const Word &operator[](unsigned R) const {
+    assert(R < NumRegisters && "register index out of range");
+    return Regs[R];
+  }
+
+  void clear() {
+    for (Word &R : Regs)
+      R = 0;
+  }
+
+  /// True if \p P is one of this file's cells (collectors use this to
+  /// filter register cells out of heap remembered sets).
+  bool ownsSlot(const Word *P) const {
+    return P >= Regs && P < Regs + NumRegisters;
+  }
+
+private:
+  Word Regs[NumRegisters] = {};
+};
+
+} // namespace tilgc
+
+#endif // TILGC_STACK_REGISTERFILE_H

@@ -1,0 +1,13 @@
+//===- stack/ShadowStack.cpp - Activation-record stack --------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/ShadowStack.h"
+
+using namespace tilgc;
+
+ShadowStack::ShadowStack(size_t CapacitySlots) : Slots(CapacitySlots, 0) {
+  Bases.reserve(CapacitySlots / 4);
+}

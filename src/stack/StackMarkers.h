@@ -1,0 +1,182 @@
+//===- stack/StackMarkers.h - Generational stack collection ----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack-marker machinery of paper §5 (generational stack collection).
+///
+/// At each stack scan the collector overwrites the return-address key of
+/// every n-th frame (default n = 25) with \c StubKey, recording the original
+/// key in a side table. When a marked frame later returns, the pop path
+/// lands in the "stub": the manager notes the deactivation and hands back
+/// the original key. Exceptions that unwind past marked frames update the
+/// watermark M (paper: "the shallowest stack pointer value that occurred as
+/// a result of raised exceptions") and retire the jumped-over markers.
+///
+/// At the next scan, every frame strictly below
+///   min(highest intact marker, deactivation watermark, exception watermark)
+/// is guaranteed unchanged since the previous scan: stack discipline says
+/// popping any of them would first have popped a marked frame (hitting the
+/// stub) or raised past one (updating M).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_STACK_STACKMARKERS_H
+#define TILGC_STACK_STACKMARKERS_H
+
+#include "stack/ShadowStack.h"
+#include "stack/TraceTable.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tilgc {
+
+/// Tracks marked frames, stub pops, and exception watermarks between scans.
+class MarkerManager {
+public:
+  /// Sentinel meaning "no watermark recorded".
+  static constexpr size_t NoWatermark = std::numeric_limits<size_t>::max();
+
+  explicit MarkerManager(unsigned Period = 25) : Period(Period) {}
+
+  unsigned period() const { return Period; }
+  void setPeriod(unsigned P) { Period = P; }
+
+  /// Enables the §7.1 "more dynamic policy of marker placement": the
+  /// period tracks the observed number of freshly scanned frames per
+  /// collection, so stable deep stacks get dense marking near the top
+  /// (maximum reuse) while shallow or churny stacks get almost none
+  /// (minimum bookkeeping).
+  void setAdaptive(bool On) { Adaptive = On; }
+  bool adaptive() const { return Adaptive; }
+
+  /// Scanner feedback: \p FreshFrames were scanned (not reused) this
+  /// collection. Adjusts the period when adaptive placement is on.
+  void onScanComplete(size_t FreshFrames) {
+    if (!Adaptive)
+      return;
+    FreshEwma = 0.75 * FreshEwma + 0.25 * static_cast<double>(FreshFrames);
+    double Target = FreshEwma / 3.0;
+    Period = static_cast<unsigned>(Target < 4 ? 4
+                                   : Target > 256 ? 256
+                                                  : Target);
+  }
+
+  /// Records that the collector marked the frame at \p Base whose original
+  /// return-address key is \p OriginalKey. Markers are placed bottom-up
+  /// during a scan, so bases arrive in increasing order.
+  void place(size_t Base, uint32_t OriginalKey) {
+    assert((Markers.empty() || Markers.back().Base < Base) &&
+           "markers must be placed bottom-up");
+    Markers.push_back(Marker{Base, OriginalKey});
+    ++NumPlaced;
+  }
+
+  /// True if the frame at \p Base currently carries a marker.
+  bool isMarked(size_t Base) const { return findMarker(Base) != nullptr; }
+
+  /// Original return-address key of the marked frame at \p Base.
+  uint32_t originalKeyAt(size_t Base) const {
+    const Marker *M = findMarker(Base);
+    assert(M && "frame is not marked");
+    return M->OriginalKey;
+  }
+
+  /// The "stub function": called when a marked frame returns normally.
+  /// Retires the marker, updates the deactivation watermark, and returns
+  /// the original key.
+  uint32_t onStubPop(size_t Base) {
+    assert(!Markers.empty() && Markers.back().Base == Base &&
+           "stub pop must hit the topmost marker");
+    uint32_t Key = Markers.back().OriginalKey;
+    Markers.pop_back();
+    if (Base < DeactivationWatermark)
+      DeactivationWatermark = Base;
+    ++NumStubPops;
+    return Key;
+  }
+
+  /// Called when an exception unwinds the stack so that the frame at
+  /// \p TargetBase becomes topmost. Retires every marker strictly above the
+  /// target and updates the exception watermark M. Restores no keys: the
+  /// jumped-over frames are dead.
+  void onUnwind(size_t TargetBase) {
+    if (TargetBase < ExceptionWatermark)
+      ExceptionWatermark = TargetBase;
+    while (!Markers.empty() && Markers.back().Base > TargetBase)
+      Markers.pop_back();
+  }
+
+  /// Frames with base strictly below the returned value are unchanged since
+  /// the previous scan. Returns 0 when nothing is reusable.
+  size_t reuseBoundary() const {
+    size_t Boundary = Markers.empty() ? 0 : Markers.back().Base;
+    if (DeactivationWatermark < Boundary)
+      Boundary = DeactivationWatermark;
+    if (ExceptionWatermark < Boundary)
+      Boundary = ExceptionWatermark;
+    return Boundary;
+  }
+
+  /// Called by the scanner at the start of a scan, after computing the
+  /// reuse boundary: clears watermarks for the next mutator epoch and drops
+  /// retired state. Markers above \p Boundary are about to be re-placed by
+  /// the new scan, so they are discarded here; the stack's key slots are
+  /// restored by the scanner as it re-decodes those frames.
+  void beginScan(size_t Boundary, ShadowStack &Stack) {
+    while (!Markers.empty() && Markers.back().Base >= Boundary) {
+      Stack.setKey(Markers.back().Base, Markers.back().OriginalKey);
+      Markers.pop_back();
+    }
+    DeactivationWatermark = NoWatermark;
+    ExceptionWatermark = NoWatermark;
+  }
+
+  /// Resolves a frame's key, seeing through a stub. Used by scans and by
+  /// the exception path, which must size frames whose key slot is stubbed.
+  uint32_t resolveKey(const ShadowStack &Stack, size_t Base) const {
+    uint32_t Key = Stack.keyOf(Base);
+    if (Key != StubKey)
+      return Key;
+    return originalKeyAt(Base);
+  }
+
+  size_t numActiveMarkers() const { return Markers.size(); }
+  uint64_t numPlaced() const { return NumPlaced; }
+  uint64_t numStubPops() const { return NumStubPops; }
+
+private:
+  struct Marker {
+    size_t Base;
+    uint32_t OriginalKey;
+  };
+
+  const Marker *findMarker(size_t Base) const {
+    // Markers are sorted by base; linear scan from the top is fine because
+    // stub pops and queries hit the top of the stack.
+    for (size_t I = Markers.size(); I > 0; --I) {
+      if (Markers[I - 1].Base == Base)
+        return &Markers[I - 1];
+      if (Markers[I - 1].Base < Base)
+        return nullptr;
+    }
+    return nullptr;
+  }
+
+  std::vector<Marker> Markers;
+  unsigned Period;
+  bool Adaptive = false;
+  double FreshEwma = 25.0;
+  size_t DeactivationWatermark = NoWatermark;
+  size_t ExceptionWatermark = NoWatermark;
+  uint64_t NumPlaced = 0;
+  uint64_t NumStubPops = 0;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_STACK_STACKMARKERS_H

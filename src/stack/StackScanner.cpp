@@ -1,0 +1,179 @@
+//===- stack/StackScanner.cpp - Two-pass stack root scanning --------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/StackScanner.h"
+
+#include "support/Compiler.h"
+
+using namespace tilgc;
+
+/// Resolves a Compute trace by consulting its runtime type descriptor
+/// (paper §2.3: "the compute trace is used when the compiler could not
+/// statically determine the pointer status of a value"). The descriptor is
+/// a heap record whose first (non-pointer) field is nonzero iff the
+/// described value is a pointer.
+static bool resolveCompute(const Trace &T, const ShadowStack &Stack,
+                           size_t Base, const RegisterFile &Regs,
+                           bool IsTopFrame) {
+  Word DescBits;
+  if (T.Loc == ComputeLoc::Slot) {
+    DescBits = Stack.slot(Base, T.Index);
+  } else {
+    assert(IsTopFrame &&
+           "register compute traces are only meaningful in the top frame");
+    (void)IsTopFrame;
+    DescBits = Regs[T.Index];
+  }
+  // A null descriptor means the frame has not yet installed its runtime
+  // type (a collection hit between frame setup and the descriptor store).
+  // The discipline requires the descriptor to be written before the
+  // described slot, so the described slot is still null/dead here.
+  if (!DescBits)
+    return false;
+  const Word *Desc = reinterpret_cast<const Word *>(DescBits);
+  return Desc[0] != 0;
+}
+
+void StackScanner::scan(ShadowStack &Stack, RegisterFile &Regs,
+                        MarkerManager *Markers, ScanCache *Cache,
+                        RootSet &Roots, ScanStats &Stats) {
+  assert((Markers == nullptr) == (Cache == nullptr) &&
+         "markers and cache go together");
+  Roots.clear();
+
+  TraceTableRegistry &Registry = TraceTableRegistry::global();
+  size_t FrameCount = Stack.frameCount();
+  size_t ReuseCount = 0;
+  uint32_t RegState = 0;
+
+  if (Markers) {
+    // Generational stack collection: replay the cached prefix.
+    size_t Boundary = Markers->reuseBoundary();
+    while (ReuseCount < Cache->Frames.size() &&
+           Cache->Frames[ReuseCount].Base < Boundary)
+      ++ReuseCount;
+    assert(ReuseCount <= FrameCount &&
+           "cache claims more unchanged frames than exist");
+    // Retire markers at/above the boundary (their frames are rescanned) and
+    // open a new watermark epoch.
+    Markers->beginScan(Boundary, Stack);
+    if (ReuseCount) {
+      const ScanCache::CachedFrame &Last = Cache->Frames[ReuseCount - 1];
+      assert(Last.Base == Stack.frameBase(ReuseCount - 1) &&
+             "cached frame does not match the live stack");
+      RegState = Last.RegStateAfter;
+      Roots.ReusedSlotRoots.assign(Cache->Roots.begin(),
+                                   Cache->Roots.begin() + Last.RootsEnd);
+      Cache->Roots.resize(Last.RootsEnd);
+    } else {
+      Cache->Roots.clear();
+    }
+    Cache->Frames.resize(ReuseCount);
+    Stats.FramesReused += ReuseCount;
+  }
+
+  // Pass 1: decode downward from the current execution point to the reuse
+  // boundary, keying each frame's layout by its return-address slot. (With
+  // a side chain of frame bases the decode is a table lookup per frame; the
+  // cost model — work proportional to the number of non-reused frames — is
+  // what matters.)
+  for (size_t I = FrameCount; I > ReuseCount; --I) {
+    size_t Base = Stack.frameBase(I - 1);
+    uint32_t Key = Stack.keyOf(Base);
+    assert(Key != StubKey && "stubs must be retired before decoding");
+    (void)Registry.lookup(Key);
+  }
+
+  // Pass 2: walk upward maintaining the register pointer-status so that
+  // CalleeSave traces resolve, accumulating root locations.
+  auto PushRoot = [&](Word *Slot) {
+    Roots.FreshSlotRoots.push_back(Slot);
+    if (Cache)
+      Cache->Roots.push_back(Slot);
+  };
+
+  for (size_t I = ReuseCount; I < FrameCount; ++I) {
+    size_t Base = Stack.frameBase(I);
+    uint32_t Key = Stack.keyOf(Base);
+    const FrameLayout &L = Registry.lookup(Key);
+    bool IsTop = (I + 1 == FrameCount);
+    ++Stats.FramesScanned;
+
+    uint32_t NumSlots = L.numSlots();
+    for (uint32_t S = 1; S < NumSlots; ++S) {
+      const Trace &T = L.SlotTraces[S - 1];
+      ++Stats.SlotsVisited;
+      switch (T.Kind) {
+      case TraceKind::NonPointer:
+        break;
+      case TraceKind::Pointer:
+        if (Stack.slot(Base, S))
+          PushRoot(Stack.slotAddress(Base, S));
+        break;
+      case TraceKind::CalleeSave:
+        // The slot holds the caller's value of register T.Index; it is a
+        // root exactly when that register held a pointer below this frame.
+        if ((RegState >> T.Index) & 1u)
+          if (Stack.slot(Base, S))
+            PushRoot(Stack.slotAddress(Base, S));
+        break;
+      case TraceKind::Compute:
+        ++Stats.ComputesResolved;
+        if (resolveCompute(T, Stack, Base, Regs, IsTop))
+          if (Stack.slot(Base, S))
+            PushRoot(Stack.slotAddress(Base, S));
+        break;
+      }
+    }
+
+    // Apply this frame's register definitions.
+    for (const RegAction &A : L.RegDefs) {
+      bool IsPtr = false;
+      switch (A.What.Kind) {
+      case TraceKind::Pointer:
+        IsPtr = true;
+        break;
+      case TraceKind::NonPointer:
+        IsPtr = false;
+        break;
+      case TraceKind::Compute:
+        ++Stats.ComputesResolved;
+        IsPtr = resolveCompute(A.What, Stack, Base, Regs, IsTop);
+        break;
+      case TraceKind::CalleeSave:
+        TILGC_UNREACHABLE("CalleeSave is not a register definition");
+      }
+      if (IsPtr)
+        RegState |= 1u << A.Reg;
+      else
+        RegState &= ~(1u << A.Reg);
+    }
+
+    if (Cache)
+      Cache->Frames.push_back(ScanCache::CachedFrame{
+          Base, Key,
+          static_cast<uint32_t>(Roots.ReusedSlotRoots.size() +
+                                Roots.FreshSlotRoots.size()),
+          RegState});
+
+    // Mark every Period-th frame (fixed frame indices keep global marker
+    // spacing stable across scans without extra bookkeeping).
+    if (Markers && (I + 1) % Markers->period() == 0) {
+      Markers->place(Base, Key);
+      Stack.setKey(Base, StubKey);
+      ++Stats.MarkersPlaced;
+    }
+  }
+
+  // The register file itself: the final register state is the topmost
+  // frame's view of the machine registers.
+  for (unsigned R = 0; R < NumRegisters; ++R)
+    if (((RegState >> R) & 1u) && Regs[R] != 0)
+      Roots.RegRoots.push_back(R);
+
+  if (Markers)
+    Markers->onScanComplete(FrameCount - ReuseCount);
+}

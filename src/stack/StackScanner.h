@@ -1,0 +1,107 @@
+//===- stack/StackScanner.h - Two-pass stack root scanning -----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-pass trace-table stack scan of paper §2.3, optionally extended
+/// with the scan cache that implements generational stack collection (§5).
+///
+/// Pass 1 walks from the topmost frame down to the reuse boundary, decoding
+/// each frame's layout from its return-address key. Pass 2 walks upward
+/// from the initial frame (or from the cached register state at the reuse
+/// boundary), maintaining the pointer status of the register set, so that
+/// CalleeSave slot traces can be resolved, and accumulating root locations.
+///
+/// When a MarkerManager and ScanCache are supplied, frames below the reuse
+/// boundary are not rescanned: their root locations are replayed from the
+/// cache into RootSet::ReusedSlotRoots. The collector decides what to do
+/// with them — a promote-all minor collection skips them entirely (the
+/// paper: "we do not need to consider roots residing in frames that were
+/// present in previous collections"), while major and semispace collections
+/// process them without paying the re-decoding cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_STACK_STACKSCANNER_H
+#define TILGC_STACK_STACKSCANNER_H
+
+#include "stack/RegisterFile.h"
+#include "stack/ShadowStack.h"
+#include "stack/StackMarkers.h"
+#include "stack/TraceTable.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tilgc {
+
+/// The results of a stack scan: addresses of slots (and indices of
+/// registers) that hold heap pointers.
+struct RootSet {
+  /// Roots discovered by scanning frames during this collection.
+  std::vector<Word *> FreshSlotRoots;
+  /// Roots replayed from the scan cache (frames unchanged since the last
+  /// collection). Empty unless generational stack collection is enabled.
+  std::vector<Word *> ReusedSlotRoots;
+  /// Registers holding pointers (the topmost frame's view).
+  std::vector<unsigned> RegRoots;
+
+  void clear() {
+    FreshSlotRoots.clear();
+    ReusedSlotRoots.clear();
+    RegRoots.clear();
+  }
+};
+
+/// Work counters for one scan (accumulated into collector statistics).
+struct ScanStats {
+  uint64_t FramesScanned = 0;  ///< Frames decoded and traced this scan.
+  uint64_t FramesReused = 0;   ///< Frames replayed from the cache.
+  uint64_t SlotsVisited = 0;   ///< Slot traces interpreted.
+  uint64_t ComputesResolved = 0;
+  uint64_t MarkersPlaced = 0;
+};
+
+/// Per-frame scan results cached between collections (owned by the
+/// collector; meaningful only when stack markers are in use).
+class ScanCache {
+public:
+  void clear() {
+    Frames.clear();
+    Roots.clear();
+  }
+
+private:
+  friend class StackScanner;
+
+  struct CachedFrame {
+    size_t Base;
+    uint32_t Key;
+    /// Prefix length of Roots after processing this frame.
+    uint32_t RootsEnd;
+    /// Register pointer-status bitmask after this frame's definitions.
+    uint32_t RegStateAfter;
+  };
+
+  std::vector<CachedFrame> Frames;
+  /// Root slot addresses in bottom-up scan order.
+  std::vector<Word *> Roots;
+};
+
+/// Stateless scan entry points.
+class StackScanner {
+public:
+  /// Scans \p Stack (and \p Regs) for roots.
+  ///
+  /// \p Markers and \p Cache are either both null (plain two-pass scan, the
+  /// baseline collectors) or both non-null (generational stack collection).
+  static void scan(ShadowStack &Stack, RegisterFile &Regs,
+                   MarkerManager *Markers, ScanCache *Cache, RootSet &Roots,
+                   ScanStats &Stats);
+};
+
+} // namespace tilgc
+
+#endif // TILGC_STACK_STACKSCANNER_H

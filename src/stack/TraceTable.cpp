@@ -1,0 +1,35 @@
+//===- stack/TraceTable.cpp - Stack frame trace tables --------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/TraceTable.h"
+
+using namespace tilgc;
+
+TraceTableRegistry &TraceTableRegistry::global() {
+  static TraceTableRegistry Registry;
+  return Registry;
+}
+
+TraceTableRegistry::TraceTableRegistry() {
+  // Key 0 is reserved so that a zeroed slot never looks like a valid frame.
+  Layouts.emplace_back("<invalid>", std::vector<Trace>{});
+}
+
+uint32_t TraceTableRegistry::define(FrameLayout Layout) {
+  for (const Trace &T : Layout.SlotTraces) {
+    if (T.Kind == TraceKind::Compute && T.Loc == ComputeLoc::Slot) {
+      assert(T.Index >= 1 && T.Index < Layout.numSlots() &&
+             "compute trace names a slot outside the frame");
+      assert(Layout.SlotTraces[T.Index - 1].Kind == TraceKind::Pointer &&
+             "a compute trace's type-descriptor slot must itself be a "
+             "pointer slot");
+    }
+  }
+  uint32_t Key = static_cast<uint32_t>(Layouts.size());
+  assert(Key != StubKey && "trace table registry overflow");
+  Layouts.push_back(std::move(Layout));
+  return Key;
+}

@@ -1,0 +1,133 @@
+//===- stack/TraceTable.h - Stack frame trace tables ------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace tables: the compiler-emitted metadata that lets TIL's collector
+/// decode stack frames (paper §2.3, Figure 1).
+///
+/// Slot 0 of every frame holds a *return-address key* which indexes the
+/// registry; the entry gives the frame size and, for every other slot and
+/// every register, one of the paper's four traces:
+///
+///  * Pointer      — statically known pointer; a root.
+///  * NonPointer   — statically known non-pointer; never a root.
+///  * CalleeSave   — the slot holds the caller's value of some register;
+///                   whether it is a root depends on the register's pointer
+///                   status in the frame below (this is what forces the
+///                   two-pass scan).
+///  * Compute      — pointer-ness could not be determined statically
+///                   (polymorphism); auxiliary data locates a runtime type
+///                   descriptor from which the scanner computes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_STACK_TRACETABLE_H
+#define TILGC_STACK_TRACETABLE_H
+
+#include "object/Object.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilgc {
+
+/// Number of simulated general-purpose registers.
+inline constexpr unsigned NumRegisters = 16;
+
+/// The four trace kinds of paper §2.3.
+enum class TraceKind : uint8_t { NonPointer, Pointer, CalleeSave, Compute };
+
+/// Where a Compute trace's type descriptor lives.
+enum class ComputeLoc : uint8_t { Slot, Register };
+
+/// Trace information for one stack slot or register.
+struct Trace {
+  TraceKind Kind = TraceKind::NonPointer;
+  ComputeLoc Loc = ComputeLoc::Slot;
+  /// CalleeSave: the register whose caller value is saved here.
+  /// Compute: the slot index / register number holding the type descriptor.
+  uint8_t Index = 0;
+
+  static Trace nonPointer() { return Trace{}; }
+  static Trace pointer() { return Trace{TraceKind::Pointer, ComputeLoc::Slot, 0}; }
+  static Trace calleeSave(unsigned Reg) {
+    assert(Reg < NumRegisters && "bad register");
+    return Trace{TraceKind::CalleeSave, ComputeLoc::Slot,
+                 static_cast<uint8_t>(Reg)};
+  }
+  static Trace computeFromSlot(unsigned Slot) {
+    return Trace{TraceKind::Compute, ComputeLoc::Slot,
+                 static_cast<uint8_t>(Slot)};
+  }
+  static Trace computeFromReg(unsigned Reg) {
+    assert(Reg < NumRegisters && "bad register");
+    return Trace{TraceKind::Compute, ComputeLoc::Register,
+                 static_cast<uint8_t>(Reg)};
+  }
+};
+
+/// A register redefinition performed by a frame's function by the time of
+/// any call (and therefore any collection) within it. Registers without an
+/// action are unchanged: their contents (and pointer status) flow up from
+/// the caller, which is exactly the callee-save discipline.
+struct RegAction {
+  uint8_t Reg;
+  Trace What; ///< Pointer / NonPointer / Compute (CalleeSave is meaningless
+              ///< here; saving happens via slot traces).
+};
+
+/// One trace-table entry: the layout of every frame created by a particular
+/// call site (paper Figure 1, right side).
+struct FrameLayout {
+  std::string Name;               ///< For diagnostics and dumps.
+  std::vector<Trace> SlotTraces;  ///< Traces for slots 1..N (slot 0 = key).
+  std::vector<RegAction> RegDefs; ///< Register redefinitions by this frame.
+
+  FrameLayout() = default;
+  FrameLayout(std::string Name, std::vector<Trace> Slots,
+              std::vector<RegAction> Regs = {})
+      : Name(std::move(Name)), SlotTraces(std::move(Slots)),
+        RegDefs(std::move(Regs)) {}
+
+  /// Total frame size in slots, including slot 0.
+  uint32_t numSlots() const {
+    return static_cast<uint32_t>(SlotTraces.size()) + 1;
+  }
+};
+
+/// The distinguished key the collector writes into a marked frame's
+/// return-address slot (the "stub function" of paper §5). Never a valid
+/// registry index.
+inline constexpr uint32_t StubKey = 0xFFFFFFFFu;
+
+/// Registry of frame layouts keyed by return-address key. In TIL this table
+/// is emitted by the compiler; here workloads register their layouts once at
+/// startup.
+class TraceTableRegistry {
+public:
+  /// The process-wide registry (trace tables are program metadata).
+  static TraceTableRegistry &global();
+
+  /// Registers \p Layout and returns its key. Keys are never reused.
+  uint32_t define(FrameLayout Layout);
+
+  const FrameLayout &lookup(uint32_t Key) const {
+    assert(Key < Layouts.size() && "unknown return-address key");
+    return Layouts[Key];
+  }
+
+  size_t size() const { return Layouts.size(); }
+
+private:
+  TraceTableRegistry();
+  std::vector<FrameLayout> Layouts;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_STACK_TRACETABLE_H

@@ -1,0 +1,83 @@
+//===- support/Random.h - Deterministic pseudo-random numbers -*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable PRNGs used by workloads and property tests.
+/// SplitMix64 seeds Xoshiro256**; both are tiny and reproducible across
+/// platforms, unlike std::mt19937's distribution wrappers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_SUPPORT_RANDOM_H
+#define TILGC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace tilgc {
+
+/// SplitMix64 step: returns the next state-mixed value for \p State.
+inline uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Xoshiro256** generator with convenience helpers for bounded draws.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x1998'0615'0c3cULL) {
+    uint64_t S = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(S);
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Multiply-shift bounded draw (Lemire); bias is negligible for our use.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+  uint64_t State[4];
+};
+
+} // namespace tilgc
+
+#endif // TILGC_SUPPORT_RANDOM_H

@@ -1,0 +1,116 @@
+//===- support/Table.cpp - Column-aligned table printing -----------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdarg>
+
+using namespace tilgc;
+
+std::string tilgc::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "bad format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string tilgc::formatSeconds(double Seconds) {
+  return formatString("%.2f", Seconds);
+}
+
+std::string tilgc::formatBytes(uint64_t Bytes) {
+  return formatString("%llu", static_cast<unsigned long long>(Bytes));
+}
+
+std::string tilgc::formatBytesHuman(uint64_t Bytes) {
+  if (Bytes >= 10 * 1024 * 1024)
+    return formatString("%lluMB",
+                        static_cast<unsigned long long>(Bytes >> 20));
+  if (Bytes >= 1024 * 1024)
+    return formatString("%.1fMB", static_cast<double>(Bytes) / (1024 * 1024));
+  return formatString("%lluKB", static_cast<unsigned long long>(Bytes >> 10));
+}
+
+std::string tilgc::formatPercent(double Fraction) {
+  return formatString("%.2f%%", Fraction * 100.0);
+}
+
+void Table::setHeader(std::vector<std::string> Columns) {
+  Header = std::move(Columns);
+}
+
+void Table::addRow(std::vector<std::string> Columns) {
+  assert((Header.empty() || Columns.size() == Header.size()) &&
+         "row width must match header");
+  Rows.push_back(std::move(Columns));
+  RowIsSeparator.push_back(false);
+}
+
+void Table::addSeparator() {
+  Rows.emplace_back();
+  RowIsSeparator.push_back(true);
+}
+
+void Table::print(std::FILE *Out) const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    if (Row.size() > NumCols)
+      NumCols = Row.size();
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  auto PrintRule = [&] {
+    for (size_t I = 0; I < Total; ++I)
+      std::fputc('-', Out);
+    std::fputc('\n', Out);
+  };
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      // Left-align the first column (program names), right-align the rest.
+      if (I == 0)
+        std::fprintf(Out, "%-*s  ", static_cast<int>(Widths[I]),
+                     Row[I].c_str());
+      else
+        std::fprintf(Out, "%*s  ", static_cast<int>(Widths[I]),
+                     Row[I].c_str());
+    }
+    std::fputc('\n', Out);
+  };
+
+  if (!Title.empty())
+    std::fprintf(Out, "== %s ==\n", Title.c_str());
+  if (!Header.empty()) {
+    PrintRow(Header);
+    PrintRule();
+  }
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (RowIsSeparator[I])
+      PrintRule();
+    else
+      PrintRow(Rows[I]);
+  }
+  std::fputc('\n', Out);
+}

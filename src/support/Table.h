@@ -1,0 +1,69 @@
+//===- support/Table.h - Column-aligned table printing --------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer used by the benchmark harnesses to
+/// regenerate the paper's tables. Rows are buffered, column widths computed,
+/// and the result written to a FILE* (we avoid <iostream> per the LLVM
+/// coding standard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_SUPPORT_TABLE_H
+#define TILGC_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tilgc {
+
+/// Printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats \p Seconds with two decimal places (the paper's convention).
+std::string formatSeconds(double Seconds);
+
+/// Formats a byte count as an exact integer (the paper reports copied bytes
+/// exactly).
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats a byte count in a human-friendly unit (KB/MB), as Table 2 does.
+std::string formatBytesHuman(uint64_t Bytes);
+
+/// Formats a ratio as a percentage with two decimal places.
+std::string formatPercent(double Fraction);
+
+/// Buffered column-aligned table writer.
+class Table {
+public:
+  explicit Table(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row; the column count must match the header.
+  void addRow(std::vector<std::string> Columns);
+
+  /// Inserts a horizontal separator line at the current position.
+  void addSeparator();
+
+  /// Renders the table to \p Out (defaults used by benches: stdout).
+  void print(std::FILE *Out) const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  /// Each row is either a list of cells or empty (separator marker).
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> RowIsSeparator;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_SUPPORT_TABLE_H

@@ -1,0 +1,97 @@
+//===- support/Timer.h - Accumulating wall-clock timers -------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulating timers used to split execution time into the paper's
+/// Total / GC / Client and GC-stack / GC-copy buckets. The paper used UNIX
+/// virtual timers; we use steady_clock, which preserves the shapes the
+/// evaluation cares about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_SUPPORT_TIMER_H
+#define TILGC_SUPPORT_TIMER_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+namespace tilgc {
+
+/// An accumulating stopwatch. start()/stop() pairs add elapsed time into a
+/// running total; nesting is not allowed (assert-checked).
+class Timer {
+public:
+  void start() {
+    assert(!Running && "Timer already running");
+    Running = true;
+    Begin = Clock::now();
+  }
+
+  void stop() {
+    assert(Running && "Timer not running");
+    Running = false;
+    AccumulatedNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now() - Begin)
+                         .count();
+  }
+
+  /// Total accumulated time in seconds.
+  double seconds() const {
+    assert(!Running && "read while running");
+    return static_cast<double>(AccumulatedNs) * 1e-9;
+  }
+
+  /// Resets the accumulated total to zero.
+  void reset() {
+    assert(!Running && "reset while running");
+    AccumulatedNs = 0;
+  }
+
+  bool isRunning() const { return Running; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  int64_t AccumulatedNs = 0;
+  bool Running = false;
+};
+
+/// RAII region that accumulates into a Timer.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : T(T) { T.start(); }
+  ~TimerScope() { T.stop(); }
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &T;
+};
+
+/// RAII region that *pauses* a running Timer (e.g. to exclude GC time from a
+/// client timer).
+class TimerPause {
+public:
+  explicit TimerPause(Timer &T) : T(T), WasRunning(T.isRunning()) {
+    if (WasRunning)
+      T.stop();
+  }
+  ~TimerPause() {
+    if (WasRunning)
+      T.start();
+  }
+  TimerPause(const TimerPause &) = delete;
+  TimerPause &operator=(const TimerPause &) = delete;
+
+private:
+  Timer &T;
+  bool WasRunning;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_SUPPORT_TIMER_H

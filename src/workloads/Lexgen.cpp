@@ -1,0 +1,832 @@
+//===- workloads/Lexgen.cpp - The Lexgen benchmark -------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1: "A lexical-analyzer generator, processing the lexical
+/// description of Standard ML."
+///
+/// A real McNaughton-Yamada-Aho DFA generator: regex syntax trees for an
+/// ML-ish token set (keywords, identifiers, numbers, strings, operators,
+/// whitespace, parens), nullable/firstpos/lastpos/followpos over the tree,
+/// subset construction with sorted position lists as states, and a
+/// maximal-munch tokenizer driven by the generated tables over synthetic
+/// program text. Every generated DFA is kept alive (paper: ~3.5MB live,
+/// a pretenuring target in Table 6).
+///
+/// Deep stacks come from two sources, as in the SML original: the
+/// recursive sorted-set unions of the followpos computation, and the
+/// recursive construction of the output token list (one activation record
+/// per token; paper: max 1802 frames, avg 714).
+///
+/// Polymorphism: the generic polyCons helpers allocate through a
+/// Compute-traced slot guided by a runtime type descriptor — TIL's
+/// intensional-polymorphism idiom, exercised at real collection points.
+///
+/// Validation: the synthetic input is rendered from a token plan, so the
+/// tokenizer's (kind, length) stream must reproduce the plan exactly — an
+/// end-to-end check of the generator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+#include "workloads/MLLib.h"
+
+#include <string>
+#include <vector>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Alphabet and token set
+//===----------------------------------------------------------------------===
+
+// Symbols: 'a'..'z' -> 0..25, '0'..'9' -> 26..35, ' ' 36, '"' 37,
+// '+' 38, '-' 39, '*' 40, '<' 41, '=' 42, '(' 43, ')' 44.
+constexpr int NumSymbols = 45;
+constexpr int SymSpace = 36, SymQuote = 37, SymLParen = 43, SymRParen = 44;
+
+int charSym(char C) {
+  if (C >= 'a' && C <= 'z')
+    return C - 'a';
+  TILGC_UNREACHABLE("only letters appear in keywords");
+}
+
+const std::vector<std::string> &keywords() {
+  static const std::vector<std::string> KW = {
+      "if",  "then", "else",   "fun",  "let",    "in",
+      "end", "val",  "struct", "open", "handle", "raise"};
+  return KW;
+}
+
+// Token kinds, in priority (declaration) order; keywords are 0..11.
+enum TokenKind : int {
+  TokId = 12,
+  TokNum = 13,
+  TokStr = 14,
+  TokOp = 15,
+  TokLParen = 16,
+  TokRParen = 17,
+  TokWs = 18,
+};
+
+//===----------------------------------------------------------------------===
+// Sites and frame layouts
+//===----------------------------------------------------------------------===
+
+uint32_t siteNode() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.node");
+  return S;
+}
+uint32_t sitePosSet() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.posset");
+  return S;
+}
+uint32_t siteState() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.state");
+  return S;
+}
+uint32_t siteStateList() {
+  static const uint32_t S =
+      AllocSiteRegistry::global().define("lex.statelist");
+  return S;
+}
+uint32_t siteTrans() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.trans");
+  return S;
+}
+uint32_t siteFollowArr() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.follow");
+  return S;
+}
+uint32_t siteInput() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.input");
+  return S;
+}
+uint32_t siteToken() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.token");
+  return S;
+}
+uint32_t siteKeep() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.keep");
+  return S;
+}
+
+uint32_t lexKey(unsigned NumPtrSlots) {
+  static const uint32_t K3 = TraceTableRegistry::global().define(FrameLayout(
+      "lex.frame3", {Trace::pointer(), Trace::pointer(), Trace::pointer()}));
+  static const uint32_t K6 = TraceTableRegistry::global().define(FrameLayout(
+      "lex.frame6",
+      {Trace::pointer(), Trace::pointer(), Trace::pointer(), Trace::pointer(),
+       Trace::pointer(), Trace::pointer()}));
+  if (NumPtrSlots <= 3)
+    return K3;
+  assert(NumPtrSlots <= 6 && "frame too large");
+  return K6;
+}
+
+//===----------------------------------------------------------------------===
+// Polymorphic cons (runtime type descriptors + Compute traces)
+//===----------------------------------------------------------------------===
+
+uint32_t polyKey() {
+  // Slot 1 = type descriptor (pointer); slot 2 = the element, whose
+  // pointer-ness the scanner computes from slot 1; slot 3 = the list.
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "lex.polyCons",
+      {Trace::pointer(), Trace::computeFromSlot(1), Trace::pointer()}));
+  return K;
+}
+
+/// Generic cons of a pointer element (the descriptor says "pointer").
+Value polyConsPtr(Mutator &M, uint32_t Site, SlotRef Elem, SlotRef List) {
+  Frame F(M, polyKey());
+  F.set(1, M.allocTypeDesc(true));
+  F.set(2, Elem.get());
+  F.set(3, List.get());
+  Value Cell = M.allocRecord(Site, 2, PtrConsMask);
+  M.initField(Cell, 0, F.get(2));
+  M.initField(Cell, 1, F.get(3));
+  return Cell;
+}
+
+/// Generic cons of an unboxed element (the descriptor says "non-pointer").
+Value polyConsInt(Mutator &M, uint32_t Site, int64_t Elem, SlotRef List) {
+  Frame F(M, polyKey());
+  F.set(1, M.allocTypeDesc(false));
+  F.set(2, Value::fromInt(Elem));
+  F.set(3, List.get());
+  Value Cell = M.allocRecord(Site, 2, IntConsMask);
+  M.initField(Cell, 0, F.get(2));
+  M.initField(Cell, 1, F.get(3));
+  return Cell;
+}
+
+//===----------------------------------------------------------------------===
+// Regex nodes
+//===----------------------------------------------------------------------===
+//
+// Char {tag=0, sym, pos} / End {tag=5, token, pos}: no pointers.
+// Eps {tag=1}. Cat/Or {tag, left, right}: mask 0b110. Star {tag, c}: 0b10.
+
+enum NodeTag : int64_t {
+  TagChar = 0,
+  TagEps = 1,
+  TagCat = 2,
+  TagOr = 3,
+  TagStar = 4,
+  TagEnd = 5
+};
+
+int64_t nodeTag(Value N) { return Mutator::getField(N, 0).asInt(); }
+
+Value mkLeaf(Mutator &M, int64_t Tag, int64_t A, int64_t B) {
+  Value N = M.allocRecord(siteNode(), 3, 0);
+  M.initField(N, 0, Value::fromInt(Tag));
+  M.initField(N, 1, Value::fromInt(A));
+  M.initField(N, 2, Value::fromInt(B));
+  return N;
+}
+
+Value mkEps(Mutator &M) {
+  Value N = M.allocRecord(siteNode(), 1, 0);
+  M.initField(N, 0, Value::fromInt(TagEps));
+  return N;
+}
+
+Value mkBin(Mutator &M, int64_t Tag, SlotRef L, SlotRef R) {
+  Value N = M.allocRecord(siteNode(), 3, 0b110);
+  M.initField(N, 0, Value::fromInt(Tag));
+  M.initField(N, 1, L.get());
+  M.initField(N, 2, R.get());
+  return N;
+}
+
+Value mkStar(Mutator &M, SlotRef C) {
+  Value N = M.allocRecord(siteNode(), 2, 0b10);
+  M.initField(N, 0, Value::fromInt(TagStar));
+  M.initField(N, 1, C.get());
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// Sorted position sets
+//===----------------------------------------------------------------------===
+
+/// Recursive sorted union — one of the deep-stack workhorses here.
+Value posUnion(Mutator &M, SlotRef A, SlotRef B) {
+  if (A.get().isNull())
+    return B.get();
+  if (B.get().isNull())
+    return A.get();
+  Frame F(M, lexKey(3)); // 1 = rest a, 2 = rest b, 3 = child result.
+  int64_t HA = headInt(A.get()), HB = headInt(B.get());
+  int64_t H;
+  if (HA == HB) {
+    H = HA;
+    F.set(1, tail(A.get()));
+    F.set(2, tail(B.get()));
+  } else if (HA < HB) {
+    H = HA;
+    F.set(1, tail(A.get()));
+    F.set(2, B.get());
+  } else {
+    H = HB;
+    F.set(1, A.get());
+    F.set(2, tail(B.get()));
+  }
+  F.set(3, posUnion(M, slot(F, 1), slot(F, 2)));
+  return consInt(M, sitePosSet(), H, slot(F, 3));
+}
+
+bool posEqual(Value A, Value B) {
+  while (!A.isNull() && !B.isNull()) {
+    if (headInt(A) != headInt(B))
+      return false;
+    A = tail(A);
+    B = tail(B);
+  }
+  return A.isNull() && B.isNull();
+}
+
+//===----------------------------------------------------------------------===
+// nullable / firstpos / lastpos / followpos
+//===----------------------------------------------------------------------===
+
+bool nullable(Value N) {
+  switch (nodeTag(N)) {
+  case TagChar:
+  case TagEnd:
+    return false;
+  case TagEps:
+  case TagStar:
+    return true;
+  case TagCat:
+    return nullable(Mutator::getField(N, 1)) &&
+           nullable(Mutator::getField(N, 2));
+  case TagOr:
+    return nullable(Mutator::getField(N, 1)) ||
+           nullable(Mutator::getField(N, 2));
+  }
+  TILGC_UNREACHABLE("bad node tag");
+}
+
+Value posOf(Mutator &M, SlotRef N, bool First) {
+  int64_t Tag = nodeTag(N.get());
+  if (Tag == TagChar || Tag == TagEnd) {
+    Frame F(M, lexKey(3));
+    return consInt(M, sitePosSet(), Mutator::getField(N.get(), 2).asInt(),
+                   slot(F, 1));
+  }
+  if (Tag == TagEps)
+    return Value::null();
+  Frame F(M, lexKey(3)); // 1 = left, 2 = right, 3 = partial.
+  if (Tag == TagStar) {
+    F.set(1, Mutator::getField(N.get(), 1));
+    return posOf(M, slot(F, 1), First);
+  }
+  F.set(1, Mutator::getField(N.get(), 1));
+  F.set(2, Mutator::getField(N.get(), 2));
+  if (Tag == TagOr) {
+    F.set(3, posOf(M, slot(F, 1), First));
+    F.set(1, posOf(M, slot(F, 2), First));
+    return posUnion(M, slot(F, 3), slot(F, 1));
+  }
+  // Cat.
+  SlotRef Main = First ? slot(F, 1) : slot(F, 2);
+  SlotRef Other = First ? slot(F, 2) : slot(F, 1);
+  if (nullable(Main.get())) {
+    F.set(3, posOf(M, Main, First));
+    Value OtherSet = posOf(M, Other, First);
+    // Careful: Main/Other alias F slots; store before union.
+    Frame G(M, lexKey(3));
+    G.set(1, OtherSet);
+    G.set(2, F.get(3));
+    return posUnion(M, slot(G, 2), slot(G, 1));
+  }
+  return posOf(M, Main, First);
+}
+
+Value firstpos(Mutator &M, SlotRef N) { return posOf(M, N, true); }
+Value lastpos(Mutator &M, SlotRef N) { return posOf(M, N, false); }
+
+/// followpos: Follow is a pointer array indexed by position.
+void computeFollow(Mutator &M, SlotRef N, SlotRef Follow) {
+  int64_t Tag = nodeTag(N.get());
+  if (Tag == TagChar || Tag == TagEnd || Tag == TagEps)
+    return;
+  Frame F(M, lexKey(6));
+  // 1 = left/child, 2 = right, 3 = lastpos, 4 = firstpos, 5 = cursor,
+  // 6 = merged.
+  if (Tag == TagStar) {
+    F.set(1, Mutator::getField(N.get(), 1));
+    computeFollow(M, slot(F, 1), Follow);
+    F.set(3, lastpos(M, slot(F, 1)));
+    F.set(4, firstpos(M, slot(F, 1)));
+  } else {
+    F.set(1, Mutator::getField(N.get(), 1));
+    F.set(2, Mutator::getField(N.get(), 2));
+    computeFollow(M, slot(F, 1), Follow);
+    computeFollow(M, slot(F, 2), Follow);
+    if (Tag != TagCat)
+      return;
+    F.set(3, lastpos(M, slot(F, 1)));
+    F.set(4, firstpos(M, slot(F, 2)));
+  }
+  F.set(5, F.get(3));
+  while (!F.get(5).isNull()) {
+    int64_t P = headInt(F.get(5));
+    F.set(6, Mutator::getField(Follow.get(), static_cast<uint32_t>(P)));
+    F.set(6, posUnion(M, slot(F, 6), slot(F, 4)));
+    M.writeField(Follow.get(), static_cast<uint32_t>(P), F.get(6),
+                 /*IsPointerField=*/true);
+    F.set(5, tail(F.get(5)));
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Token-rule construction
+//===----------------------------------------------------------------------===
+
+struct BuildCtx {
+  std::vector<int> PosSym;   ///< Position -> symbol (or -1 for End).
+  std::vector<int> PosToken; ///< Position -> token kind (End) or -1.
+
+  BuildCtx() {
+    PosSym.push_back(-2); // Position 0 unused.
+    PosToken.push_back(-1);
+  }
+
+  int newPos(int Sym, int Token) {
+    int P = static_cast<int>(PosSym.size());
+    PosSym.push_back(Sym);
+    PosToken.push_back(Token);
+    return P;
+  }
+
+  int numPositions() const { return static_cast<int>(PosSym.size()); }
+};
+
+Value mkLiteral(Mutator &M, BuildCtx &B, const std::string &S) {
+  Frame F(M, lexKey(3)); // 1 = acc, 2 = char node.
+  for (char C : S) {
+    int Sym = charSym(C);
+    F.set(2, mkLeaf(M, TagChar, Sym, B.newPos(Sym, -1)));
+    F.set(1, F.get(1).isNull() ? F.get(2)
+                               : mkBin(M, TagCat, slot(F, 1), slot(F, 2)));
+  }
+  return F.get(1);
+}
+
+Value mkClass(Mutator &M, BuildCtx &B, const std::vector<int> &Syms) {
+  Frame F(M, lexKey(3));
+  for (int Sym : Syms) {
+    F.set(2, mkLeaf(M, TagChar, Sym, B.newPos(Sym, -1)));
+    F.set(1, F.get(1).isNull() ? F.get(2)
+                               : mkBin(M, TagOr, slot(F, 1), slot(F, 2)));
+  }
+  return F.get(1);
+}
+
+std::vector<int> letterSyms() {
+  std::vector<int> S;
+  for (int I = 0; I < 26; ++I)
+    S.push_back(I);
+  return S;
+}
+std::vector<int> digitSyms() {
+  std::vector<int> S;
+  for (int I = 26; I < 36; ++I)
+    S.push_back(I);
+  return S;
+}
+std::vector<int> opSyms() { return {38, 39, 40, 41, 42}; }
+std::vector<int> strBodySyms() {
+  std::vector<int> S = letterSyms();
+  for (int D : digitSyms())
+    S.push_back(D);
+  S.push_back(SymSpace);
+  return S;
+}
+
+Value withEnd(Mutator &M, BuildCtx &B, SlotRef Re, int Token) {
+  Frame F(M, lexKey(3));
+  F.set(1, mkLeaf(M, TagEnd, Token, B.newPos(-1, Token)));
+  return mkBin(M, TagCat, Re, slot(F, 1));
+}
+
+/// X X* (one-or-more over a class).
+Value mkPlus(Mutator &M, BuildCtx &B, const std::vector<int> &Syms) {
+  Frame F(M, lexKey(3));
+  F.set(1, mkClass(M, B, Syms));
+  F.set(2, mkClass(M, B, Syms));
+  F.set(2, mkStar(M, slot(F, 2)));
+  return mkBin(M, TagCat, slot(F, 1), slot(F, 2));
+}
+
+/// The complete token set as one Or-tree.
+Value buildTokenTree(Mutator &M, BuildCtx &B) {
+  Frame F(M, lexKey(6)); // 1 = acc, 2 = rule, 3/4 = parts.
+  auto AddRule = [&](Value Rule) {
+    F.set(2, Rule);
+    F.set(1, F.get(1).isNull() ? F.get(2)
+                               : mkBin(M, TagOr, slot(F, 1), slot(F, 2)));
+  };
+
+  for (size_t K = 0; K < keywords().size(); ++K) {
+    F.set(3, mkLiteral(M, B, keywords()[K]));
+    AddRule(withEnd(M, B, slot(F, 3), static_cast<int>(K)));
+  }
+  { // ID: letter (letter|digit)*.
+    F.set(3, mkClass(M, B, letterSyms()));
+    std::vector<int> Both = letterSyms();
+    for (int D : digitSyms())
+      Both.push_back(D);
+    F.set(4, mkClass(M, B, Both));
+    F.set(4, mkStar(M, slot(F, 4)));
+    F.set(3, mkBin(M, TagCat, slot(F, 3), slot(F, 4)));
+    AddRule(withEnd(M, B, slot(F, 3), TokId));
+  }
+  { // NUM.
+    F.set(3, mkPlus(M, B, digitSyms()));
+    AddRule(withEnd(M, B, slot(F, 3), TokNum));
+  }
+  { // STR: " body* ".
+    F.set(3, mkLeaf(M, TagChar, SymQuote, B.newPos(SymQuote, -1)));
+    F.set(4, mkClass(M, B, strBodySyms()));
+    F.set(4, mkStar(M, slot(F, 4)));
+    F.set(3, mkBin(M, TagCat, slot(F, 3), slot(F, 4)));
+    F.set(4, mkLeaf(M, TagChar, SymQuote, B.newPos(SymQuote, -1)));
+    F.set(3, mkBin(M, TagCat, slot(F, 3), slot(F, 4)));
+    AddRule(withEnd(M, B, slot(F, 3), TokStr));
+  }
+  { // OP.
+    F.set(3, mkPlus(M, B, opSyms()));
+    AddRule(withEnd(M, B, slot(F, 3), TokOp));
+  }
+  { // Parens.
+    F.set(3, mkLeaf(M, TagChar, SymLParen, B.newPos(SymLParen, -1)));
+    AddRule(withEnd(M, B, slot(F, 3), TokLParen));
+    F.set(3, mkLeaf(M, TagChar, SymRParen, B.newPos(SymRParen, -1)));
+    AddRule(withEnd(M, B, slot(F, 3), TokRParen));
+  }
+  { // WS: space+.
+    F.set(3, mkPlus(M, B, {SymSpace}));
+    AddRule(withEnd(M, B, slot(F, 3), TokWs));
+  }
+  (void)mkEps; // Eps exists for completeness of the node kinds.
+  return F.get(1);
+}
+
+//===----------------------------------------------------------------------===
+// Subset construction
+//===----------------------------------------------------------------------===
+
+// State record: {id, posSet, trans, accept}; mask 0b0110.
+Value statePosSet(Value S) { return Mutator::getField(S, 1); }
+Value stateTrans(Value S) { return Mutator::getField(S, 2); }
+int64_t stateId(Value S) { return Mutator::getField(S, 0).asInt(); }
+int64_t stateAccept(Value S) { return Mutator::getField(S, 3).asInt(); }
+
+int64_t acceptOf(Value PosSet, const BuildCtx &B) {
+  int64_t Best = -1;
+  for (Value L = PosSet; !L.isNull(); L = tail(L)) {
+    int Token = B.PosToken[static_cast<size_t>(headInt(L))];
+    if (Token >= 0 && (Best < 0 || Token < Best))
+      Best = Token;
+  }
+  return Best;
+}
+
+Value findState(Value States, Value PosSet) {
+  for (Value L = States; !L.isNull(); L = tail(L))
+    if (posEqual(statePosSet(head(L)), PosSet))
+      return head(L);
+  return Value::null();
+}
+
+Value makeState(Mutator &M, SlotRef PosSet, int Id, const BuildCtx &B) {
+  Frame F(M, lexKey(3)); // 1 = state, 2 = trans array.
+  Value S = M.allocRecord(siteState(), 4, 0b0110);
+  M.initField(S, 0, Value::fromInt(Id));
+  M.initField(S, 1, PosSet.get());
+  M.initField(S, 3, Value::fromInt(acceptOf(PosSet.get(), B)));
+  F.set(1, S);
+  F.set(2, M.allocPtrArray(siteTrans(), NumSymbols));
+  // The state was just allocated but the array allocation may have moved
+  // it; re-read and use a barriered write (the state may have been
+  // pretenured into the old generation).
+  M.writeField(F.get(1), 2, F.get(2), /*IsPointerField=*/true);
+  return F.get(1);
+}
+
+/// Union of follow[p] over p in PosSet with sym(p) == Sym.
+Value targetSet(Mutator &M, SlotRef PosSet, SlotRef Follow, int Sym,
+                const BuildCtx &B) {
+  Frame F(M, lexKey(3)); // 1 = cursor, 2 = acc, 3 = follow entry.
+  F.set(1, PosSet.get());
+  while (!F.get(1).isNull()) {
+    int64_t P = headInt(F.get(1));
+    if (B.PosSym[static_cast<size_t>(P)] == Sym) {
+      F.set(3, Mutator::getField(Follow.get(), static_cast<uint32_t>(P)));
+      F.set(2, posUnion(M, slot(F, 3), slot(F, 2)));
+    }
+    F.set(1, tail(F.get(1)));
+  }
+  return F.get(2);
+}
+
+struct DfaStats {
+  int NumStates = 0;
+  uint64_t Transitions = 0;
+};
+
+/// Runs the subset construction; returns the state list (start state has
+/// id 0 and sits at the list's tail end).
+Value buildDfa(Mutator &M, SlotRef Root, SlotRef Follow, const BuildCtx &B,
+               DfaStats &Out) {
+  Frame F(M, lexKey(6));
+  // 1 = states, 2 = worklist, 3 = current, 4 = target set, 5 = state,
+  // 6 = scratch.
+  F.set(4, firstpos(M, Root));
+  F.set(5, makeState(M, slot(F, 4), 0, B));
+  F.set(1, polyConsPtr(M, siteStateList(), slot(F, 5), slot(F, 1)));
+  F.set(2, F.get(1));
+  int NumStates = 1;
+
+  while (!F.get(2).isNull()) {
+    F.set(3, head(F.get(2)));
+    F.set(2, tail(F.get(2)));
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      F.set(6, statePosSet(F.get(3)));
+      F.set(4, targetSet(M, slot(F, 6), Follow, Sym, B));
+      if (F.get(4).isNull())
+        continue;
+      F.set(5, findState(F.get(1), F.get(4)));
+      if (F.get(5).isNull()) {
+        F.set(5, makeState(M, slot(F, 4), NumStates++, B));
+        F.set(1, polyConsPtr(M, siteStateList(), slot(F, 5), slot(F, 1)));
+        F.set(2, polyConsPtr(M, siteStateList(), slot(F, 5), slot(F, 2)));
+      }
+      M.writeField(stateTrans(F.get(3)), static_cast<uint32_t>(Sym),
+                   F.get(5), /*IsPointerField=*/true);
+      ++Out.Transitions;
+    }
+  }
+  Out.NumStates = NumStates;
+  return F.get(1);
+}
+
+//===----------------------------------------------------------------------===
+// Tokenizing
+//===----------------------------------------------------------------------===
+
+/// Longest-match token starting at \p I (read-only; no allocation).
+/// Returns the token kind and writes the end offset through \p EndOut;
+/// kind -1 means no match.
+int64_t matchAt(Value Start, Value Input, int64_t I, int64_t Len,
+                int64_t &EndOut) {
+  Value Cur = Start;
+  int64_t LastAccept = -1, LastEnd = I, J = I;
+  if (stateAccept(Cur) >= 0) {
+    LastAccept = stateAccept(Cur);
+    LastEnd = J;
+  }
+  while (J < Len) {
+    int64_t Sym = static_cast<int64_t>(Input.asPtr()[J]);
+    Value Next = Mutator::getField(stateTrans(Cur),
+                                   static_cast<uint32_t>(Sym));
+    if (Next.isNull())
+      break;
+    Cur = Next;
+    ++J;
+    if (stateAccept(Cur) >= 0) {
+      LastAccept = stateAccept(Cur);
+      LastEnd = J;
+    }
+  }
+  EndOut = LastEnd;
+  return LastAccept;
+}
+
+uint32_t siteLexeme() {
+  static const uint32_t S = AllocSiteRegistry::global().define("lex.lexeme");
+  return S;
+}
+
+/// Recursive maximal-munch tokenization building the token list back to
+/// front: one activation record per token — the paper's deep Lexgen stack.
+/// Each token also materializes its lexeme as a char list, the way ML
+/// lexers build the matched string (bulk, short-lived allocation).
+Value tokenizeRec(Mutator &M, SlotRef Start, SlotRef Input, int64_t I,
+                  int64_t Len) {
+  if (I >= Len)
+    return Value::null();
+  Frame F(M, lexKey(6)); // 1 = start, 2 = input, 3 = rest, 4 = lexeme.
+  F.set(1, Start.get());
+  F.set(2, Input.get());
+  int64_t End = I;
+  int64_t Kind = matchAt(F.get(1), F.get(2), I, Len, End);
+  if (Kind < 0 || End == I)
+    return polyConsInt(M, siteToken(), -1, slot(F, 3)); // Lexical error.
+  for (int64_t C = End; C > I; --C) {
+    int64_t Sym = static_cast<int64_t>(F.get(2).asPtr()[C - 1]);
+    F.set(4, consInt(M, siteLexeme(), Sym, slot(F, 4)));
+  }
+  F.set(3, tokenizeRec(M, slot(F, 1), slot(F, 2), End, Len));
+  // Token cell payload: kind * 2^20 + length.
+  return polyConsInt(M, siteToken(), Kind * (1 << 20) + (End - I),
+                     slot(F, 3));
+}
+
+//===----------------------------------------------------------------------===
+// Input generation (the shared plan)
+//===----------------------------------------------------------------------===
+
+struct PlannedToken {
+  int Kind;
+  std::vector<int> Syms;
+};
+
+/// Renders a deterministic token stream; WS separates every pair.
+std::vector<PlannedToken> makePlan(Rng &R, int NumTokens) {
+  std::vector<PlannedToken> Plan;
+  auto PushWs = [&] {
+    PlannedToken T;
+    T.Kind = TokWs;
+    int N = static_cast<int>(R.range(1, 3));
+    T.Syms.assign(static_cast<size_t>(N), SymSpace);
+    Plan.push_back(T);
+  };
+  for (int I = 0; I < NumTokens; ++I) {
+    if (I)
+      PushWs();
+    PlannedToken T;
+    switch (R.below(7)) {
+    case 0: { // Keyword.
+      size_t K = R.below(keywords().size());
+      T.Kind = static_cast<int>(K);
+      for (char C : keywords()[K])
+        T.Syms.push_back(charSym(C));
+      break;
+    }
+    case 1: { // ID (contains a digit, so it never collides with keywords).
+      T.Kind = TokId;
+      T.Syms.push_back(static_cast<int>(R.below(26)));
+      T.Syms.push_back(26 + static_cast<int>(R.below(10)));
+      int Extra = static_cast<int>(R.range(0, 5));
+      for (int E = 0; E < Extra; ++E)
+        T.Syms.push_back(static_cast<int>(R.below(36)));
+      break;
+    }
+    case 2: { // NUM.
+      T.Kind = TokNum;
+      int Len = static_cast<int>(R.range(1, 6));
+      for (int E = 0; E < Len; ++E)
+        T.Syms.push_back(26 + static_cast<int>(R.below(10)));
+      break;
+    }
+    case 3: { // STR.
+      T.Kind = TokStr;
+      T.Syms.push_back(SymQuote);
+      int Len = static_cast<int>(R.range(0, 8));
+      for (int E = 0; E < Len; ++E) {
+        uint64_t C = R.below(37);
+        T.Syms.push_back(C == 36 ? SymSpace : static_cast<int>(C));
+      }
+      T.Syms.push_back(SymQuote);
+      break;
+    }
+    case 4: { // OP.
+      T.Kind = TokOp;
+      int Len = static_cast<int>(R.range(1, 3));
+      for (int E = 0; E < Len; ++E)
+        T.Syms.push_back(38 + static_cast<int>(R.below(5)));
+      break;
+    }
+    case 5:
+      T.Kind = TokLParen;
+      T.Syms.push_back(SymLParen);
+      break;
+    default:
+      T.Kind = TokRParen;
+      T.Syms.push_back(SymRParen);
+      break;
+    }
+    Plan.push_back(T);
+  }
+  return Plan;
+}
+
+uint64_t planChecksum(const std::vector<PlannedToken> &Plan) {
+  uint64_t Sum = 5381;
+  for (const PlannedToken &T : Plan)
+    Sum = Sum * 31 +
+          static_cast<uint64_t>(T.Kind * (1 << 20) +
+                                static_cast<int>(T.Syms.size()));
+  return Sum;
+}
+
+struct Sizes {
+  int Rounds;
+  int TokensPerRound;
+};
+
+Sizes sizesFor(double Scale) {
+  Sizes S;
+  S.Rounds = static_cast<int>(6.0 * Scale);
+  if (S.Rounds < 1)
+    S.Rounds = 1;
+  S.TokensPerRound = 2600;
+  return S;
+}
+
+//===----------------------------------------------------------------------===
+// The workload
+//===----------------------------------------------------------------------===
+
+class LexgenWorkload : public Workload {
+public:
+  const char *name() const override { return "Lexgen"; }
+  const char *description() const override {
+    return "Regex-to-DFA generator + maximal-munch tokenizer over an ML "
+           "token set";
+  }
+  unsigned paperLines() const override { return 1123; }
+
+  uint64_t run(Mutator &M, double Scale) override {
+    Sizes S = sizesFor(Scale);
+    Rng R(0x13EC5);
+    Frame Top(M, lexKey(6));
+    // 1 = kept DFAs, 2 = syntax tree, 3 = follow array, 4 = states,
+    // 5 = input, 6 = tokens / start.
+    uint64_t Sum = 0;
+    for (int Round = 0; Round < S.Rounds; ++Round) {
+      // Build the generator's inputs fresh each round (each DFA is kept).
+      BuildCtx B;
+      Top.set(2, buildTokenTree(M, B));
+      Top.set(3, M.allocPtrArray(siteFollowArr(),
+                                 static_cast<uint32_t>(B.numPositions())));
+      computeFollow(M, slot(Top, 2), slot(Top, 3));
+      DfaStats DS;
+      Top.set(4, buildDfa(M, slot(Top, 2), slot(Top, 3), B, DS));
+      Top.set(1, polyConsPtr(M, siteKeep(), slot(Top, 4), slot(Top, 1)));
+      // Sanity-poison the checksum if the construction degenerated.
+      if (DS.NumStates < 20)
+        Sum ^= 0xDEADBEEFULL;
+
+      // Tokenize a plan-generated input with the fresh DFA.
+      std::vector<PlannedToken> Plan = makePlan(R, S.TokensPerRound);
+      int64_t Len = 0;
+      for (const PlannedToken &T : Plan)
+        Len += static_cast<int64_t>(T.Syms.size());
+      Top.set(5, M.allocNonPtrArray(siteInput(), static_cast<uint32_t>(Len)));
+      {
+        int64_t I = 0;
+        for (const PlannedToken &T : Plan)
+          for (int Sym : T.Syms)
+            M.initField(Top.get(5), static_cast<uint32_t>(I++),
+                        Value::fromInt(Sym));
+      }
+      // Start state = id 0 (tail end of the state list).
+      Top.set(6, Top.get(4));
+      while (stateId(head(Top.get(6))) != 0)
+        Top.set(6, tail(Top.get(6)));
+      Top.set(6, head(Top.get(6)));
+      Top.set(6, tokenizeRec(M, slot(Top, 6), slot(Top, 5), 0, Len));
+
+      uint64_t TokSum = 5381;
+      for (Value L = Top.get(6); !L.isNull(); L = tail(L))
+        TokSum = TokSum * 31 + static_cast<uint64_t>(headInt(L));
+      Sum = Sum * 1099511628211ULL + TokSum;
+    }
+    return Sum;
+  }
+
+  uint64_t expected(double Scale) override {
+    // The input is rendered from the plan, so the DFA must recover the
+    // plan's exact (kind, length) stream — an end-to-end check of the
+    // whole generator pipeline.
+    Sizes S = sizesFor(Scale);
+    Rng R(0x13EC5);
+    uint64_t Sum = 0;
+    for (int Round = 0; Round < S.Rounds; ++Round) {
+      std::vector<PlannedToken> Plan = makePlan(R, S.TokensPerRound);
+      Sum = Sum * 1099511628211ULL + planChecksum(Plan);
+    }
+    return Sum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> tilgc::makeLexgenWorkload() {
+  return std::make_unique<LexgenWorkload>();
+}

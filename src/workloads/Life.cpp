@@ -1,0 +1,243 @@
+//===- workloads/Life.cpp - The Life benchmark -----------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1: "The game of Life implemented using lists (Reade 1989)."
+///
+/// The live-cell set is a sorted int list on a 64x64 torus. Each generation
+/// allocates an 8-entry neighbour burst per live cell, mergesorts the burst
+/// list, and walks it against the current generation to produce the next —
+/// entirely list allocation with almost no live data (paper: 363MB
+/// allocated, 24KB max live, shallow stack).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/MLLib.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+namespace {
+
+constexpr int Side = 64;
+constexpr int Cells = Side * Side;
+
+uint32_t siteNeighbor() {
+  static const uint32_t S =
+      AllocSiteRegistry::global().define("life.neighbor");
+  return S;
+}
+uint32_t siteSort() {
+  static const uint32_t S = AllocSiteRegistry::global().define("life.sort");
+  return S;
+}
+uint32_t siteGen() {
+  static const uint32_t S = AllocSiteRegistry::global().define("life.gen");
+  return S;
+}
+
+uint32_t keyRun() {
+  static const uint32_t K = TraceTableRegistry::global().define(
+      FrameLayout("life.run", {Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+uint32_t keyNextGen() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "life.nextgen",
+      {Trace::pointer(), Trace::pointer(), Trace::pointer(), Trace::pointer(),
+       Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+uint32_t keySort() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "life.sort", {Trace::pointer(), Trace::pointer(), Trace::pointer(),
+                    Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+
+int wrap(int V) { return (V % Side + Side) % Side; }
+
+/// Splits list (slot In) into two alternating halves left in OutA/OutB.
+void splitAlternating(Mutator &M, SlotRef In, SlotRef OutA, SlotRef OutB) {
+  OutA.set(Value::null());
+  OutB.set(Value::null());
+  bool Left = true;
+  while (!In.get().isNull()) {
+    int64_t H = headInt(In.get());
+    In.set(tail(In.get()));
+    SlotRef Out = Left ? OutA : OutB;
+    Out.set(consInt(M, siteSort(), H, Out));
+    Left = !Left;
+  }
+}
+
+/// Merges two ascending int lists (slots A and B), ascending, duplicates
+/// kept. Builds descending into Acc then reverses.
+Value mergeAsc(Mutator &M, SlotRef A, SlotRef B, SlotRef Acc,
+               SlotRef Scratch) {
+  Acc.set(Value::null());
+  while (!A.get().isNull() || !B.get().isNull()) {
+    int64_t H;
+    if (B.get().isNull() ||
+        (!A.get().isNull() && headInt(A.get()) <= headInt(B.get()))) {
+      H = headInt(A.get());
+      A.set(tail(A.get()));
+    } else {
+      H = headInt(B.get());
+      B.set(tail(B.get()));
+    }
+    Acc.set(consInt(M, siteSort(), H, Acc));
+  }
+  Scratch.set(Acc.get());
+  return reverseInt(M, siteSort(), Scratch, Acc);
+}
+
+/// Recursive mergesort (log-depth frames).
+Value msort(Mutator &M, SlotRef In) {
+  if (In.get().isNull() || tail(In.get()).isNull())
+    return In.get();
+  // 1 = left, 2 = right, 3 = acc, 4 = scratch, 5 = own input cursor (the
+  // frameless helpers may only clobber slots of the *current* frame).
+  Frame F(M, keySort());
+  F.set(5, In.get());
+  splitAlternating(M, slot(F, 5), slot(F, 1), slot(F, 2));
+  F.set(1, msort(M, slot(F, 1)));
+  F.set(2, msort(M, slot(F, 2)));
+  return mergeAsc(M, slot(F, 1), slot(F, 2), slot(F, 3), slot(F, 4));
+}
+
+/// One generation step over the sorted live-cell list; returns the next
+/// generation (the caller stores it into its own frame).
+Value nextGen(Mutator &M, SlotRef Alive) {
+  Frame F(M, keyNextGen());
+  // 1 = neighbour burst, 2 = sorted burst, 3 = next gen (descending),
+  // 4 = cursor over alive, 5 = scratch, 6 = sorted cursor.
+  F.set(4, Alive.get());
+  while (!F.get(4).isNull()) {
+    int64_t Pos = headInt(F.get(4));
+    int X = static_cast<int>(Pos) / Side, Y = static_cast<int>(Pos) % Side;
+    for (int DX = -1; DX <= 1; ++DX) {
+      for (int DY = -1; DY <= 1; ++DY) {
+        if (DX == 0 && DY == 0)
+          continue;
+        int64_t NPos = wrap(X + DX) * Side + wrap(Y + DY);
+        F.set(1, consInt(M, siteNeighbor(), NPos, slot(F, 1)));
+      }
+    }
+    F.set(4, tail(F.get(4)));
+  }
+
+  F.set(2, msort(M, slot(F, 1)));
+
+  // Walk the sorted burst, run-length counting, against the (sorted) alive
+  // list to apply B3/S23.
+  F.set(4, Alive.get());
+  F.set(6, F.get(2));
+  while (!F.get(6).isNull()) {
+    int64_t Pos = headInt(F.get(6));
+    int Count = 0;
+    while (!F.get(6).isNull() && headInt(F.get(6)) == Pos) {
+      ++Count;
+      F.set(6, tail(F.get(6)));
+    }
+    while (!F.get(4).isNull() && headInt(F.get(4)) < Pos)
+      F.set(4, tail(F.get(4)));
+    bool WasAlive = !F.get(4).isNull() && headInt(F.get(4)) == Pos;
+    bool Lives = WasAlive ? (Count == 2 || Count == 3) : (Count == 3);
+    if (Lives)
+      F.set(3, consInt(M, siteGen(), Pos, slot(F, 3)));
+  }
+  F.set(5, F.get(3));
+  return reverseInt(M, siteGen(), slot(F, 5), slot(F, 3));
+}
+
+int gensFor(double Scale) {
+  int G = static_cast<int>(150.0 * Scale);
+  return G < 1 ? 1 : G;
+}
+
+/// Deterministic start pattern: an R-pentomino near the centre plus a
+/// glider in one corner.
+std::vector<int> startPattern() {
+  auto At = [](int X, int Y) { return X * Side + Y; };
+  std::vector<int> P = {
+      // R-pentomino at (30..32, 30..31).
+      At(30, 31), At(30, 32), At(31, 30), At(31, 31), At(32, 31),
+      // Glider.
+      At(2, 3), At(3, 4), At(4, 2), At(4, 3), At(4, 4)};
+  return P;
+}
+
+class LifeWorkload : public Workload {
+public:
+  const char *name() const override { return "Life"; }
+  const char *description() const override {
+    return "Game of Life on sorted cell lists (64x64 torus)";
+  }
+  unsigned paperLines() const override { return 146; }
+
+  uint64_t run(Mutator &M, double Scale) override {
+    Frame Top(M, keyRun()); // 1 = alive list, 2 = scratch.
+    // Build the initial generation, sorted ascending (fold from the back).
+    std::vector<int> Init = startPattern();
+    std::sort(Init.begin(), Init.end());
+    for (auto It = Init.rbegin(); It != Init.rend(); ++It)
+      Top.set(1, consInt(M, siteGen(), *It, slot(Top, 1)));
+
+    uint64_t Sum = 0;
+    int Gens = gensFor(Scale);
+    for (int G = 0; G < Gens; ++G) {
+      Top.set(1, nextGen(M, slot(Top, 1)));
+      Sum = Sum * 31 + mllib::length(Top.get(1));
+    }
+    Sum = Sum * 31 + static_cast<uint64_t>(mllib::sumInt(Top.get(1)));
+    return Sum;
+  }
+
+  uint64_t expected(double Scale) override {
+    std::vector<char> Grid(Cells, 0), Next(Cells, 0);
+    for (int P : startPattern())
+      Grid[static_cast<size_t>(P)] = 1;
+    uint64_t Sum = 0;
+    int Gens = gensFor(Scale);
+    for (int G = 0; G < Gens; ++G) {
+      uint64_t Pop = 0;
+      for (int X = 0; X < Side; ++X) {
+        for (int Y = 0; Y < Side; ++Y) {
+          int Count = 0;
+          for (int DX = -1; DX <= 1; ++DX)
+            for (int DY = -1; DY <= 1; ++DY)
+              if (DX || DY)
+                Count += Grid[static_cast<size_t>(wrap(X + DX) * Side +
+                                                  wrap(Y + DY))];
+          bool WasAlive = Grid[static_cast<size_t>(X * Side + Y)] != 0;
+          bool Lives = WasAlive ? (Count == 2 || Count == 3) : (Count == 3);
+          Next[static_cast<size_t>(X * Side + Y)] = Lives ? 1 : 0;
+          Pop += Lives;
+        }
+      }
+      Grid.swap(Next);
+      Sum = Sum * 31 + Pop;
+    }
+    uint64_t PosSum = 0;
+    for (int P = 0; P < Cells; ++P)
+      if (Grid[static_cast<size_t>(P)])
+        PosSum += static_cast<uint64_t>(P);
+    Sum = Sum * 31 + PosSum;
+    return Sum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> tilgc::makeLifeWorkload() {
+  return std::make_unique<LifeWorkload>();
+}

@@ -1,0 +1,26 @@
+//===- workloads/MLLib.cpp - ML-style heap idioms --------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MLLib.h"
+
+using namespace tilgc;
+
+uint32_t mllib::copyIntRecKey() {
+  static const uint32_t Key = TraceTableRegistry::global().define(FrameLayout(
+      "mllib.copyIntRec", {Trace::pointer(), Trace::pointer()}));
+  return Key;
+}
+
+Value mllib::copyIntRec(Mutator &M, uint32_t Site, SlotRef In) {
+  if (In.get().isNull())
+    return Value::null();
+  Frame F(M, copyIntRecKey()); // slot 1 = rest, slot 2 = copied child
+  F.set(1, tail(In.get()));
+  int64_t Head = headInt(In.get());
+  Value Child = copyIntRec(M, Site, slot(F, 1));
+  F.set(2, Child);
+  return consInt(M, Site, Head, slot(F, 2));
+}

@@ -1,0 +1,113 @@
+//===- workloads/MLLib.h - ML-style heap idioms -----------------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers for the list/record idioms the SML benchmarks live on.
+///
+/// Safety rules embodied here:
+///  * Functions that allocate take their pointer arguments as SlotRef — a
+///    (frame, slot) pair re-read *after* the allocation — never as raw
+///    Values, because an allocation may collect and move everything.
+///  * Returned Values must be stored into a frame slot by the caller before
+///    the next allocation.
+///
+/// Cons cells are two-field records: field 0 = head, field 1 = tail
+/// (pointer). An integer list's head is unboxed (PtrMask = 0b10); a pointer
+/// list's head is a pointer (PtrMask = 0b11). nil is the null Value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_WORKLOADS_MLLIB_H
+#define TILGC_WORKLOADS_MLLIB_H
+
+#include "runtime/Mutator.h"
+
+namespace tilgc {
+
+/// A re-readable reference to a frame slot; the safe way to pass pointer
+/// arguments to allocating helpers.
+struct SlotRef {
+  Frame *F;
+  unsigned Slot;
+
+  Value get() const { return F->get(Slot); }
+  void set(Value V) const { F->set(Slot, V); }
+};
+
+/// Convenience maker (Frame cannot return SlotRef by value cheaply enough
+/// to matter; this reads better at call sites).
+inline SlotRef slot(Frame &F, unsigned I) { return SlotRef{&F, I}; }
+
+namespace mllib {
+
+/// PtrMask for an int-headed cons cell (tail only).
+inline constexpr uint32_t IntConsMask = 0b10;
+/// PtrMask for a pointer-headed cons cell.
+inline constexpr uint32_t PtrConsMask = 0b11;
+
+/// Allocates Head :: Tail with an unboxed integer head.
+inline Value consInt(Mutator &M, uint32_t Site, int64_t Head, SlotRef Tail) {
+  Value Cell = M.allocRecord(Site, 2, IntConsMask);
+  M.initField(Cell, 0, Value::fromInt(Head));
+  M.initField(Cell, 1, Tail.get());
+  return Cell;
+}
+
+/// Allocates Head :: Tail with a pointer head.
+inline Value consPtr(Mutator &M, uint32_t Site, SlotRef Head, SlotRef Tail) {
+  Value Cell = M.allocRecord(Site, 2, PtrConsMask);
+  M.initField(Cell, 0, Head.get());
+  M.initField(Cell, 1, Tail.get());
+  return Cell;
+}
+
+inline Value head(Value Cell) { return Mutator::getField(Cell, 0); }
+inline int64_t headInt(Value Cell) {
+  return Mutator::getField(Cell, 0).asInt();
+}
+inline Value tail(Value Cell) { return Mutator::getField(Cell, 1); }
+
+/// Non-allocating length (iterative; cannot trigger a collection).
+inline uint64_t length(Value List) {
+  uint64_t N = 0;
+  for (Value P = List; !P.isNull(); P = tail(P))
+    ++N;
+  return N;
+}
+
+/// Non-allocating sum of an int list.
+inline int64_t sumInt(Value List) {
+  int64_t S = 0;
+  for (Value P = List; !P.isNull(); P = tail(P))
+    S += headInt(P);
+  return S;
+}
+
+/// Iterative, allocating reverse of an int list. \p Site tags the fresh
+/// cells; \p In names the input list's slot, \p Scratch a scratch pointer
+/// slot the helper may clobber. Returns the reversed list.
+inline Value reverseInt(Mutator &M, uint32_t Site, SlotRef In,
+                        SlotRef Scratch) {
+  Scratch.set(Value::null());
+  while (!In.get().isNull()) {
+    Value Cell = consInt(M, Site, headInt(In.get()), Scratch);
+    Scratch.set(Cell);
+    In.set(tail(In.get()));
+  }
+  return Scratch.get();
+}
+
+/// Frame key for copyIntRec's activation records.
+uint32_t copyIntRecKey();
+
+/// Recursive (deep-stack) structural copy of an int list. Allocation
+/// happens on the way back up, so the whole spine is live on the stack.
+Value copyIntRec(Mutator &M, uint32_t Site, SlotRef In);
+
+} // namespace mllib
+} // namespace tilgc
+
+#endif // TILGC_WORKLOADS_MLLIB_H

@@ -1,0 +1,243 @@
+//===- workloads/PIA.cpp - The PIA benchmark -------------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1: "The Perspective Inversion Algorithm deciding the location of
+/// an object in a perspective video image."
+///
+/// A pose-search pipeline over synthetic video frames: per frame, a large
+/// unboxed image-point array plus thousands of small per-pose candidate
+/// records (paper: 214MB arrays + 154MB records), with a sliding window of
+/// recent frame results kept alive. Window entries survive a few minor
+/// collections, get promoted, and then die — the allocation behaviour the
+/// paper singles out as hostile to generational collection ("PIA's tenured
+/// data tends to die rapidly"), which is why its GC time is so sensitive
+/// to k in Tables 3 and 4.
+///
+/// All arithmetic is 16.16 fixed-point integer math, mirrored exactly by
+/// the plain-C++ reference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+#include "workloads/MLLib.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+namespace {
+
+constexpr int NumImagePoints = 6000;
+constexpr int NumModelPoints = 120;
+constexpr int NumPoses = 28;
+constexpr int WindowSize = 4;
+
+uint32_t siteImage() {
+  static const uint32_t S = AllocSiteRegistry::global().define("pia.image");
+  return S;
+}
+uint32_t siteFeature() {
+  static const uint32_t S = AllocSiteRegistry::global().define("pia.feature");
+  return S;
+}
+uint32_t siteCand() {
+  static const uint32_t S = AllocSiteRegistry::global().define("pia.cand");
+  return S;
+}
+uint32_t siteFrameRec() {
+  static const uint32_t S = AllocSiteRegistry::global().define("pia.frame");
+  return S;
+}
+uint32_t siteWindow() {
+  static const uint32_t S = AllocSiteRegistry::global().define("pia.window");
+  return S;
+}
+
+uint32_t keyRun() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "pia.run", {Trace::pointer(), Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+uint32_t keyFrame() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "pia.frame",
+      {Trace::pointer(), Trace::pointer(), Trace::pointer(),
+       Trace::pointer()}));
+  return K;
+}
+
+/// 16.16 fixed-point sine/cosine for the pose angles (deterministic; the
+/// reference uses the same table).
+const std::vector<std::pair<int64_t, int64_t>> &poseRotations() {
+  static const std::vector<std::pair<int64_t, int64_t>> Table = [] {
+    std::vector<std::pair<int64_t, int64_t>> T;
+    for (int I = 0; I < NumPoses; ++I) {
+      double A = 2.0 * 3.14159265358979323846 * I / NumPoses;
+      T.emplace_back(std::llround(std::cos(A) * 65536.0),
+                     std::llround(std::sin(A) * 65536.0));
+    }
+    return T;
+  }();
+  return Table;
+}
+
+int64_t modelX(int I) { return (I * 37 % 200 - 100) << 16; }
+int64_t modelY(int I) { return (I * 53 % 200 - 100) << 16; }
+
+/// Deterministic image coordinates (shared with the reference).
+int64_t imageCoord(int Frame, int Index) {
+  uint64_t S = static_cast<uint64_t>(Frame) * 1000003 +
+               static_cast<uint64_t>(Index);
+  return static_cast<int64_t>(splitMix64(S) % 512) - 256;
+}
+
+/// Scores one pose against the image (pure reads; no allocation).
+int64_t scorePose(Value Image, int Frame, int Pose) {
+  (void)Frame;
+  auto [C, S] = poseRotations()[static_cast<size_t>(Pose)];
+  int64_t TX = (Pose * 11 % 64 - 32), TY = (Pose * 29 % 64 - 32);
+  int64_t Score = 0;
+  for (int I = 0; I < NumModelPoints; ++I) {
+    int64_t X = (C * modelX(I) - S * modelY(I)) >> 32;
+    int64_t Y = (S * modelX(I) + C * modelY(I)) >> 32;
+    X += TX;
+    Y += TY;
+    int Idx = (I * 7 + Pose * 13) % NumImagePoints;
+    int64_t IX = Value::fromBits(Image.asPtr()[2 * Idx]).asInt();
+    int64_t IY = Value::fromBits(Image.asPtr()[2 * Idx + 1]).asInt();
+    int64_t DX = X - IX, DY = Y - IY;
+    Score += (DX < 0 ? -DX : DX) + (DY < 0 ? -DY : DY);
+  }
+  return Score;
+}
+
+/// One video frame: image array, pose search, frame-result record.
+/// Returns the record the caller conses onto its sliding window.
+Value processFrame(Mutator &M, int FrameNo, uint64_t &Sum) {
+  Frame F(M, keyFrame()); // 1 = image, 2 = best cand, 3 = result, 4 = -.
+  // Image array: 2 coords per point, unboxed (large object).
+  F.set(1, M.allocNonPtrArray(siteImage(), 2 * NumImagePoints));
+  {
+    Value Img = F.get(1);
+    for (int I = 0; I < NumImagePoints; ++I) {
+      Img.asPtr()[2 * I] = Value::fromInt(imageCoord(FrameNo, 2 * I)).bits();
+      Img.asPtr()[2 * I + 1] =
+          Value::fromInt(imageCoord(FrameNo, 2 * I + 1)).bits();
+    }
+  }
+
+  // Pose search: per-pose candidate records plus a burst of per-point
+  // feature records (the paper's PIA is heavily record-allocating).
+  int64_t Best = INT64_MAX;
+  int BestPose = -1;
+  for (int Pose = 0; Pose < NumPoses; ++Pose) {
+    int64_t Score = scorePose(F.get(1), FrameNo, Pose);
+    for (int Pt = 0; Pt < NumModelPoints; ++Pt) {
+      Value Feat = M.allocRecord(siteFeature(), 2, 0);
+      M.initField(Feat, 0, Value::fromInt(Score + Pt));
+      M.initField(Feat, 1, Value::fromInt(Pose));
+    }
+    Value Cand = M.allocRecord(siteCand(), 3, 0b100);
+    M.initField(Cand, 0, Value::fromInt(Pose));
+    M.initField(Cand, 1, Value::fromInt(Score));
+    M.initField(Cand, 2, F.get(2)); // Chain of improving candidates.
+    if (Score < Best) {
+      Best = Score;
+      BestPose = Pose;
+      F.set(2, Cand);
+    }
+  }
+  Sum = Sum * 1099511628211ULL + static_cast<uint64_t>(Best) +
+        static_cast<uint64_t>(BestPose);
+
+  // Frame result: {image, bestCand, best}.
+  Value Rec = M.allocRecord(siteFrameRec(), 3, 0b011);
+  M.initField(Rec, 0, F.get(1));
+  M.initField(Rec, 1, F.get(2));
+  M.initField(Rec, 2, Value::fromInt(Best));
+  return Rec;
+}
+
+int framesFor(double Scale) {
+  int F = static_cast<int>(380.0 * Scale);
+  return F < WindowSize + 1 ? WindowSize + 1 : F;
+}
+
+class PIAWorkload : public Workload {
+public:
+  const char *name() const override { return "PIA"; }
+  const char *description() const override {
+    return "Perspective-inversion pose search with a sliding window of "
+           "frame results";
+  }
+  unsigned paperLines() const override { return 2065; }
+
+  uint64_t run(Mutator &M, double Scale) override {
+    Frame Top(M, keyRun()); // 1 = window list, 2 = frame record, 3 = -.
+    uint64_t Sum = 0;
+    int Frames = framesFor(Scale);
+    for (int FrameNo = 0; FrameNo < Frames; ++FrameNo) {
+      Top.set(2, processFrame(M, FrameNo, Sum));
+      Top.set(1, consPtr(M, siteWindow(), slot(Top, 2), slot(Top, 1)));
+      // Trim the window: the (WindowSize)-th cell's tail is severed, so
+      // older frame data — already promoted — dies in the old generation.
+      Value Cell = Top.get(1);
+      int Depth = 1;
+      while (!Cell.isNull() && Depth < WindowSize) {
+        Cell = tail(Cell);
+        ++Depth;
+      }
+      if (!Cell.isNull() && !tail(Cell).isNull())
+        M.writeField(Cell, 1, Value::null(), /*IsPointerField=*/true);
+    }
+    return Sum;
+  }
+
+  uint64_t expected(double Scale) override {
+    uint64_t Sum = 0;
+    int Frames = framesFor(Scale);
+    std::vector<int64_t> Img(2 * NumImagePoints);
+    for (int FrameNo = 0; FrameNo < Frames; ++FrameNo) {
+      for (int I = 0; I < 2 * NumImagePoints; ++I)
+        Img[static_cast<size_t>(I)] = imageCoord(FrameNo, I);
+      int64_t Best = INT64_MAX;
+      int BestPose = -1;
+      for (int Pose = 0; Pose < NumPoses; ++Pose) {
+        auto [C, S] = poseRotations()[static_cast<size_t>(Pose)];
+        int64_t TX = (Pose * 11 % 64 - 32), TY = (Pose * 29 % 64 - 32);
+        int64_t Score = 0;
+        for (int I = 0; I < NumModelPoints; ++I) {
+          int64_t X = (C * modelX(I) - S * modelY(I)) >> 32;
+          int64_t Y = (S * modelX(I) + C * modelY(I)) >> 32;
+          X += TX;
+          Y += TY;
+          int Idx = (I * 7 + Pose * 13) % NumImagePoints;
+          int64_t DX = X - Img[static_cast<size_t>(2 * Idx)];
+          int64_t DY = Y - Img[static_cast<size_t>(2 * Idx + 1)];
+          Score += (DX < 0 ? -DX : DX) + (DY < 0 ? -DY : DY);
+        }
+        if (Score < Best) {
+          Best = Score;
+          BestPose = Pose;
+        }
+      }
+      Sum = Sum * 1099511628211ULL + static_cast<uint64_t>(Best) +
+            static_cast<uint64_t>(BestPose);
+    }
+    return Sum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> tilgc::makePIAWorkload() {
+  return std::make_unique<PIAWorkload>();
+}

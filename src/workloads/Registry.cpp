@@ -1,0 +1,39 @@
+//===- workloads/Registry.cpp - Benchmark registry -------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <cstring>
+
+using namespace tilgc;
+
+Workload::~Workload() = default;
+
+const std::vector<std::unique_ptr<Workload>> &tilgc::allWorkloads() {
+  static std::vector<std::unique_ptr<Workload>> All = [] {
+    std::vector<std::unique_ptr<Workload>> W;
+    W.push_back(makeChecksumWorkload());
+    W.push_back(makeColorWorkload());
+    W.push_back(makeFFTWorkload());
+    W.push_back(makeGrobnerWorkload());
+    W.push_back(makeKnuthBendixWorkload());
+    W.push_back(makeLexgenWorkload());
+    W.push_back(makeLifeWorkload());
+    W.push_back(makeNqueenWorkload());
+    W.push_back(makePegWorkload());
+    W.push_back(makePIAWorkload());
+    W.push_back(makeSimpleWorkload());
+    return W;
+  }();
+  return All;
+}
+
+Workload *tilgc::findWorkload(const char *Name) {
+  for (const auto &W : allWorkloads())
+    if (std::strcmp(W->name(), Name) == 0)
+      return W.get();
+  return nullptr;
+}

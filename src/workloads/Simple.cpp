@@ -1,0 +1,204 @@
+//===- workloads/Simple.cpp - The Simple benchmark --------------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1: "A spherical fluid-dynamics program, run for 4 iterations with
+/// grid size of 200."
+///
+/// A Jacobi-style stencil relaxation over fixed-point pressure/energy
+/// grids. Each iteration allocates fresh grid arrays (large objects) and
+/// rebuilds every row as a cons list of cell records (the record-heavy mix
+/// of the paper: 493MB records + 158MB arrays), while per-row summary
+/// records accumulate and stay live to the end — the long-lived sites that
+/// make Simple a pretenuring target in Table 6 (44% less copying).
+///
+/// All arithmetic is integer fixed-point, mirrored by the C++ reference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/MLLib.h"
+
+#include <vector>
+
+using namespace tilgc;
+using namespace tilgc::mllib;
+
+namespace {
+
+constexpr int Side = 128;
+constexpr int Cells = Side * Side;
+
+uint32_t siteGrid() {
+  static const uint32_t S = AllocSiteRegistry::global().define("simple.grid");
+  return S;
+}
+uint32_t siteCell() {
+  static const uint32_t S = AllocSiteRegistry::global().define("simple.cell");
+  return S;
+}
+uint32_t siteRow() {
+  static const uint32_t S = AllocSiteRegistry::global().define("simple.row");
+  return S;
+}
+uint32_t siteSummary() {
+  static const uint32_t S =
+      AllocSiteRegistry::global().define("simple.summary");
+  return S;
+}
+uint32_t siteKeep() {
+  static const uint32_t S = AllocSiteRegistry::global().define("simple.keep");
+  return S;
+}
+
+uint32_t keyRun() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "simple.run", {Trace::pointer(), Trace::pointer(), Trace::pointer(),
+                     Trace::pointer()}));
+  return K;
+}
+uint32_t keyRow() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "simple.row", {Trace::pointer(), Trace::pointer(), Trace::pointer(),
+                     Trace::pointer()}));
+  return K;
+}
+
+int64_t initCell(int R, int C) {
+  // A smooth deterministic initial field.
+  return ((R * 131 + C * 17) % 1000) << 8;
+}
+
+/// Stencil step (pure): damped four-neighbour average plus a source term.
+int64_t stencil(int64_t Up, int64_t Down, int64_t Left, int64_t Right,
+                int64_t Self, int R, int C) {
+  int64_t Avg = (Up + Down + Left + Right) / 4;
+  int64_t Source = ((R ^ C) & 15) << 6;
+  return Self + ((Avg - Self) * 3) / 4 + Source;
+}
+
+/// Builds the row R of the next grid recursively, one activation record
+/// and one cell record per column (back to front).
+Value buildRow(Mutator &M, SlotRef Old, SlotRef New, int R, int C,
+               int64_t &RowSum) {
+  if (C >= Side)
+    return Value::null();
+  Frame F(M, keyRow()); // 1 = old, 2 = new, 3 = rest, 4 = cell record.
+  F.set(1, Old.get());
+  F.set(2, New.get());
+
+  auto At = [&](int RR, int CC) -> int64_t {
+    RR = (RR + Side) % Side;
+    CC = (CC + Side) % Side;
+    return Value::fromBits(F.get(1).asPtr()[RR * Side + CC]).asInt();
+  };
+  int64_t V = stencil(At(R - 1, C), At(R + 1, C), At(R, C - 1), At(R, C + 1),
+                      At(R, C), R, C);
+  RowSum += V;
+
+  F.set(3, buildRow(M, slot(F, 1), slot(F, 2), R, C + 1, RowSum));
+  // Cell record {value, col}: bulk, dies with the row list.
+  Value Cell = M.allocRecord(siteCell(), 2, 0);
+  M.initField(Cell, 0, Value::fromInt(V));
+  M.initField(Cell, 1, Value::fromInt(C));
+  F.set(4, Cell);
+  Value Row = consPtr(M, siteRow(), slot(F, 4), slot(F, 3));
+  // Commit the computed value into the (stationary, large-object) new
+  // grid; no allocation between the read of F(2) and the store.
+  F.get(2).asPtr()[R * Side + C] = Value::fromInt(V).bits();
+  return Row;
+}
+
+int itersFor(double Scale) {
+  int I = static_cast<int>(40.0 * Scale);
+  return I < 1 ? 1 : I;
+}
+
+class SimpleWorkload : public Workload {
+public:
+  const char *name() const override { return "Simple"; }
+  const char *description() const override {
+    return "Fixed-point Jacobi relaxation with per-row cons lists and "
+           "long-lived summaries";
+  }
+  unsigned paperLines() const override { return 870; }
+
+  uint64_t run(Mutator &M, double Scale) override {
+    Frame Top(M, keyRun()); // 1 = grid, 2 = next grid, 3 = summaries,
+                            // 4 = row scratch.
+    Top.set(1, M.allocNonPtrArray(siteGrid(), Cells));
+    {
+      Value G = Top.get(1);
+      for (int R = 0; R < Side; ++R)
+        for (int C = 0; C < Side; ++C)
+          G.asPtr()[R * Side + C] = Value::fromInt(initCell(R, C)).bits();
+    }
+
+    uint64_t Sum = 0;
+    int Iters = itersFor(Scale);
+    for (int It = 0; It < Iters; ++It) {
+      Top.set(2, M.allocNonPtrArray(siteGrid(), Cells));
+      for (int R = 0; R < Side; ++R) {
+        int64_t RowSum = 0;
+        Top.set(4, buildRow(M, slot(Top, 1), slot(Top, 2), R, 0, RowSum));
+        // Long-lived per-row summary {iter*Side+row, rowSum}.
+        Value S = M.allocRecord(siteSummary(), 2, 0);
+        M.initField(S, 0, Value::fromInt(It * Side + R));
+        M.initField(S, 1, Value::fromInt(RowSum));
+        Top.set(4, S);
+        Top.set(3, consPtr(M, siteKeep(), slot(Top, 4), slot(Top, 3)));
+        Sum = Sum * 31 + static_cast<uint64_t>(RowSum);
+      }
+      Top.set(1, Top.get(2)); // The old grid becomes garbage.
+    }
+    // Fold the kept summaries (checks they all survived).
+    for (Value L = Top.get(3); !L.isNull(); L = tail(L))
+      Sum = Sum * 1099511628211ULL +
+            static_cast<uint64_t>(Mutator::getField(head(L), 1).asInt());
+    return Sum;
+  }
+
+  uint64_t expected(double Scale) override {
+    std::vector<int64_t> Grid(Cells), Next(Cells);
+    for (int R = 0; R < Side; ++R)
+      for (int C = 0; C < Side; ++C)
+        Grid[static_cast<size_t>(R * Side + C)] = initCell(R, C);
+
+    uint64_t Sum = 0;
+    std::vector<int64_t> RowSums;
+    int Iters = itersFor(Scale);
+    for (int It = 0; It < Iters; ++It) {
+      for (int R = 0; R < Side; ++R) {
+        int64_t RowSum = 0;
+        for (int C = 0; C < Side; ++C) {
+          auto At = [&](int RR, int CC) {
+            RR = (RR + Side) % Side;
+            CC = (CC + Side) % Side;
+            return Grid[static_cast<size_t>(RR * Side + CC)];
+          };
+          int64_t V = stencil(At(R - 1, C), At(R + 1, C), At(R, C - 1),
+                              At(R, C + 1), At(R, C), R, C);
+          Next[static_cast<size_t>(R * Side + C)] = V;
+          RowSum += V;
+        }
+        RowSums.push_back(RowSum);
+        Sum = Sum * 31 + static_cast<uint64_t>(RowSum);
+      }
+      Grid.swap(Next);
+    }
+    // The workload's summary list is newest-first.
+    for (auto It = RowSums.rbegin(); It != RowSums.rend(); ++It)
+      Sum = Sum * 1099511628211ULL + static_cast<uint64_t>(*It);
+    return Sum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> tilgc::makeSimpleWorkload() {
+  return std::make_unique<SimpleWorkload>();
+}

@@ -1,0 +1,77 @@
+//===- workloads/Workload.h - Benchmark program interface -------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface of the eleven benchmark programs of paper Table 1. Each is
+/// a real program written against the Mutator API whose allocation mix,
+/// live-data shape, stack depth and mutation rate mimic the corresponding
+/// SML benchmark. Every workload computes a deterministic result that is
+/// validated against either a plain-C++ reference implementation or an
+/// internal consistency check, so a collector bug shows up as a wrong
+/// answer, not just a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_WORKLOADS_WORKLOAD_H
+#define TILGC_WORKLOADS_WORKLOAD_H
+
+#include "runtime/Mutator.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tilgc {
+
+/// A paper benchmark. Scale 1.0 is the default benchmarking size (sized to
+/// finish in roughly a second per run on a laptop); the paper's original
+/// sizes are larger — pass a bigger scale to approach them.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Table 1 name, e.g. "Knuth-Bendix".
+  virtual const char *name() const = 0;
+  /// Table 1 description.
+  virtual const char *description() const = 0;
+  /// Table 1 "lines" column (size of the original SML program).
+  virtual unsigned paperLines() const = 0;
+
+  /// Runs the program and returns its result checksum.
+  virtual uint64_t run(Mutator &M, double Scale) = 0;
+
+  /// The expected checksum at \p Scale, from a reference implementation or
+  /// an internal-consistency convention (see each workload).
+  virtual uint64_t expected(double Scale) = 0;
+
+  /// Runs and validates in one step.
+  bool runAndCheck(Mutator &M, double Scale) {
+    return run(M, Scale) == expected(Scale);
+  }
+};
+
+/// The eleven benchmarks, in Table 1 order. Constructed on first use.
+const std::vector<std::unique_ptr<Workload>> &allWorkloads();
+
+/// Finds a benchmark by (case-sensitive) name; null if unknown.
+Workload *findWorkload(const char *Name);
+
+// Factories (one per benchmark translation unit).
+std::unique_ptr<Workload> makeChecksumWorkload();
+std::unique_ptr<Workload> makeColorWorkload();
+std::unique_ptr<Workload> makeFFTWorkload();
+std::unique_ptr<Workload> makeGrobnerWorkload();
+std::unique_ptr<Workload> makeKnuthBendixWorkload();
+std::unique_ptr<Workload> makeLexgenWorkload();
+std::unique_ptr<Workload> makeLifeWorkload();
+std::unique_ptr<Workload> makeNqueenWorkload();
+std::unique_ptr<Workload> makePegWorkload();
+std::unique_ptr<Workload> makePIAWorkload();
+std::unique_ptr<Workload> makeSimpleWorkload();
+
+} // namespace tilgc
+
+#endif // TILGC_WORKLOADS_WORKLOAD_H

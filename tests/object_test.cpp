@@ -1,0 +1,112 @@
+//===- tests/object_test.cpp - Object model unit tests ---------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "object/Object.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace tilgc;
+
+TEST(ValueTest, IntRoundTrip) {
+  EXPECT_EQ(Value::fromInt(0).asInt(), 0);
+  EXPECT_EQ(Value::fromInt(-1).asInt(), -1);
+  EXPECT_EQ(Value::fromInt(123456789).asInt(), 123456789);
+  EXPECT_EQ(Value::fromInt(INT64_MIN).asInt(), INT64_MIN);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  EXPECT_DOUBLE_EQ(Value::fromDouble(0.0).asDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::fromDouble(-3.25).asDouble(), -3.25);
+  EXPECT_DOUBLE_EQ(Value::fromDouble(1e300).asDouble(), 1e300);
+}
+
+TEST(ValueTest, PointerRoundTripAndNull) {
+  Word Storage[4] = {};
+  Value P = Value::fromPtr(&Storage[2]);
+  EXPECT_EQ(P.asPtr(), &Storage[2]);
+  EXPECT_FALSE(P.isNull());
+  EXPECT_TRUE(Value::null().isNull());
+}
+
+TEST(HeaderTest, DescriptorRoundTrip) {
+  Word D = header::make(ObjectKind::Record, 3, 0b101);
+  EXPECT_FALSE(header::isForwarded(D));
+  EXPECT_EQ(header::kind(D), ObjectKind::Record);
+  EXPECT_EQ(header::length(D), 3u);
+  EXPECT_EQ(header::ptrMask(D), 0b101u);
+
+  Word A = header::make(ObjectKind::NonPtrArray, 1u << 20);
+  EXPECT_EQ(header::kind(A), ObjectKind::NonPtrArray);
+  EXPECT_EQ(header::length(A), 1u << 20);
+  EXPECT_EQ(header::ptrMask(A), 0u);
+}
+
+TEST(HeaderTest, ForwardingRoundTrip) {
+  alignas(8) Word Target[4] = {};
+  Word F = header::makeForward(&Target[2]);
+  EXPECT_TRUE(header::isForwarded(F));
+  EXPECT_EQ(header::forwardTarget(F), &Target[2]);
+}
+
+TEST(HeaderTest, SizesAccountForHeader) {
+  Word D = header::make(ObjectKind::PtrArray, 5);
+  EXPECT_EQ(objectTotalWords(D), 5u + HeaderWords);
+  EXPECT_EQ(objectPayloadBytes(D), 40u);
+  EXPECT_EQ(objectTotalBytes(D), (5u + HeaderWords) * 8u);
+}
+
+TEST(MetaTest, SiteBirthAgeRoundTrip) {
+  Word M = meta::make(0xDEADBEEF, 12345);
+  EXPECT_EQ(meta::site(M), 0xDEADBEEFu);
+  EXPECT_EQ(meta::birthKB(M), 12345u);
+  EXPECT_EQ(meta::age(M), 0u);
+
+  Word M1 = meta::withBumpedAge(M);
+  EXPECT_EQ(meta::age(M1), 1u);
+  EXPECT_EQ(meta::site(M1), 0xDEADBEEFu);
+  EXPECT_EQ(meta::birthKB(M1), 12345u);
+
+  // Age saturates.
+  Word MSat = M;
+  for (int I = 0; I < 10; ++I)
+    MSat = meta::withBumpedAge(MSat);
+  EXPECT_EQ(meta::age(MSat), meta::MaxAge);
+}
+
+namespace {
+
+std::vector<unsigned> pointerFieldIndices(Word *Payload) {
+  std::vector<unsigned> Indices;
+  forEachPointerField(Payload, [&](Word *Field) {
+    Indices.push_back(static_cast<unsigned>(Field - Payload));
+  });
+  return Indices;
+}
+
+} // namespace
+
+TEST(TraceFieldsTest, RecordUsesMask) {
+  alignas(8) Word Obj[2 + 4];
+  Obj[0] = header::make(ObjectKind::Record, 4, 0b1010);
+  Obj[1] = meta::make(1, 0);
+  EXPECT_EQ(pointerFieldIndices(Obj + 2), (std::vector<unsigned>{1, 3}));
+}
+
+TEST(TraceFieldsTest, PtrArrayVisitsEverything) {
+  alignas(8) Word Obj[2 + 3];
+  Obj[0] = header::make(ObjectKind::PtrArray, 3);
+  Obj[1] = meta::make(1, 0);
+  EXPECT_EQ(pointerFieldIndices(Obj + 2), (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(TraceFieldsTest, NonPtrArrayVisitsNothing) {
+  alignas(8) Word Obj[2 + 3];
+  Obj[0] = header::make(ObjectKind::NonPtrArray, 3);
+  Obj[1] = meta::make(1, 0);
+  EXPECT_TRUE(pointerFieldIndices(Obj + 2).empty());
+}

@@ -1,0 +1,144 @@
+//===- tests/support_test.cpp - Support + verifier unit tests --------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tilgc;
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = R.below(17);
+    ASSERT_LT(V, 17u);
+  }
+}
+
+TEST(RandomTest, RangeIsInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = R.range(-2, 2);
+    ASSERT_GE(V, -2);
+    ASSERT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, RealInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.real();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(formatSeconds(1.234), "1.23");
+  EXPECT_EQ(formatBytes(1048576), "1048576");
+  EXPECT_EQ(formatBytesHuman(512), "0KB");
+  EXPECT_EQ(formatBytesHuman(2048), "2KB");
+  EXPECT_EQ(formatBytesHuman(3 * 1024 * 1024), "3.0MB");
+  EXPECT_EQ(formatBytesHuman(64u << 20), "64MB");
+  EXPECT_EQ(formatPercent(0.5), "50.00%");
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(TimerTest, AccumulatesAcrossStartStop) {
+  Timer T;
+  T.start();
+  T.stop();
+  double First = T.seconds();
+  T.start();
+  T.stop();
+  EXPECT_GE(T.seconds(), First);
+  T.reset();
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(TimerTest, PauseExcludesRegion) {
+  Timer T;
+  T.start();
+  {
+    TimerPause P(T);
+    EXPECT_FALSE(T.isRunning());
+  }
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+}
+
+TEST(HeapVerifierTest, AcceptsAWellFormedSpace) {
+  Space S;
+  S.reserve(4096);
+  Word *A = S.allocate(header::make(ObjectKind::Record, 2, 0b10), 0);
+  Word *B = S.allocate(header::make(ObjectKind::Record, 1, 0), 0);
+  A[0] = 5;
+  A[1] = reinterpret_cast<Word>(B);
+  B[0] = 6;
+
+  HeapVerifier V;
+  V.addSpace(&S, "test");
+  std::string Error;
+  EXPECT_TRUE(V.verifyHeap(Error)) << Error;
+}
+
+TEST(HeapVerifierTest, RejectsWildPointer) {
+  Space S;
+  S.reserve(4096);
+  Word *A = S.allocate(header::make(ObjectKind::Record, 1, 0b1), 0);
+  alignas(8) static Word Outside[4] = {};
+  A[0] = reinterpret_cast<Word>(&Outside[2]);
+
+  HeapVerifier V;
+  V.addSpace(&S, "test");
+  std::string Error;
+  EXPECT_FALSE(V.verifyHeap(Error));
+  EXPECT_NE(Error.find("outside the live heap"), std::string::npos) << Error;
+}
+
+TEST(HeapVerifierTest, RejectsMisalignedPointer) {
+  Space S;
+  S.reserve(4096);
+  Word *A = S.allocate(header::make(ObjectKind::Record, 1, 0b1), 0);
+  A[0] = reinterpret_cast<Word>(A) + 1;
+
+  HeapVerifier V;
+  V.addSpace(&S, "test");
+  std::string Error;
+  EXPECT_FALSE(V.verifyHeap(Error));
+  EXPECT_NE(Error.find("misaligned"), std::string::npos) << Error;
+}
+
+TEST(HeapVerifierTest, RejectsPointerToForwardedObject) {
+  Space S, To;
+  S.reserve(4096);
+  To.reserve(4096);
+  Word *A = S.allocate(header::make(ObjectKind::Record, 1, 0b1), 0);
+  Word *B = S.allocate(header::make(ObjectKind::Record, 1, 0), 0);
+  Word *BMoved = To.allocate(header::make(ObjectKind::Record, 1, 0), 0);
+  A[0] = reinterpret_cast<Word>(B);
+  descriptorOf(B) = header::makeForward(BMoved);
+
+  // Only S is "live": A's field still points at the forwarded B.
+  HeapVerifier V;
+  V.addSpace(&S, "test");
+  std::string Error;
+  EXPECT_FALSE(V.verifyHeap(Error));
+}
