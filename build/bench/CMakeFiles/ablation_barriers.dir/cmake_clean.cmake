@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barriers.dir/ablation_barriers.cpp.o"
+  "CMakeFiles/ablation_barriers.dir/ablation_barriers.cpp.o.d"
+  "ablation_barriers"
+  "ablation_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

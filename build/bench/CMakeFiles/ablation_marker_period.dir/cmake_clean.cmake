@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_marker_period.dir/ablation_marker_period.cpp.o"
+  "CMakeFiles/ablation_marker_period.dir/ablation_marker_period.cpp.o.d"
+  "ablation_marker_period"
+  "ablation_marker_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_marker_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

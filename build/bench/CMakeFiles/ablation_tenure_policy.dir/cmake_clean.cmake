@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tenure_policy.dir/ablation_tenure_policy.cpp.o"
+  "CMakeFiles/ablation_tenure_policy.dir/ablation_tenure_policy.cpp.o.d"
+  "ablation_tenure_policy"
+  "ablation_tenure_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tenure_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

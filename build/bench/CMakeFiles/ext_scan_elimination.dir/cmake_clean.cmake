@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scan_elimination.dir/ext_scan_elimination.cpp.o"
+  "CMakeFiles/ext_scan_elimination.dir/ext_scan_elimination.cpp.o.d"
+  "ext_scan_elimination"
+  "ext_scan_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scan_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

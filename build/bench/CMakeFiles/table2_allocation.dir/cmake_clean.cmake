@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_allocation.dir/table2_allocation.cpp.o"
+  "CMakeFiles/table2_allocation.dir/table2_allocation.cpp.o.d"
+  "table2_allocation"
+  "table2_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

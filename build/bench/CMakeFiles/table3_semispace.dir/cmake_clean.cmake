@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_semispace.dir/table3_semispace.cpp.o"
+  "CMakeFiles/table3_semispace.dir/table3_semispace.cpp.o.d"
+  "table3_semispace"
+  "table3_semispace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_semispace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_generational.dir/table4_generational.cpp.o"
+  "CMakeFiles/table4_generational.dir/table4_generational.cpp.o.d"
+  "table4_generational"
+  "table4_generational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stack_markers.dir/table5_stack_markers.cpp.o"
+  "CMakeFiles/table5_stack_markers.dir/table5_stack_markers.cpp.o.d"
+  "table5_stack_markers"
+  "table5_stack_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stack_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

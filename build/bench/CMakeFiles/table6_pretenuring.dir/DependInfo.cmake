@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_pretenuring.cpp" "bench/CMakeFiles/table6_pretenuring.dir/table6_pretenuring.cpp.o" "gcc" "bench/CMakeFiles/table6_pretenuring.dir/table6_pretenuring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tilgc_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tilgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tilgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

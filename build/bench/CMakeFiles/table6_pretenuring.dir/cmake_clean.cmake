@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pretenuring.dir/table6_pretenuring.cpp.o"
+  "CMakeFiles/table6_pretenuring.dir/table6_pretenuring.cpp.o.d"
+  "table6_pretenuring"
+  "table6_pretenuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pretenuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_relative.dir/table7_relative.cpp.o"
+  "CMakeFiles/table7_relative.dir/table7_relative.cpp.o.d"
+  "table7_relative"
+  "table7_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

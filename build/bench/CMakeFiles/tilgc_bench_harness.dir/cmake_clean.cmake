@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtilgc_bench_harness.a"
+  "../lib/libtilgc_bench_harness.pdb"
+  "CMakeFiles/tilgc_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/tilgc_bench_harness.dir/Harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilgc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtilgc_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_recursion.dir/deep_recursion.cpp.o"
+  "CMakeFiles/deep_recursion.dir/deep_recursion.cpp.o.d"
+  "deep_recursion"
+  "deep_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_torture.dir/gc_torture.cpp.o"
+  "CMakeFiles/gc_torture.dir/gc_torture.cpp.o.d"
+  "gc_torture"
+  "gc_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

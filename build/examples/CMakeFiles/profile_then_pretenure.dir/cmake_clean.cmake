@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_then_pretenure.dir/profile_then_pretenure.cpp.o"
+  "CMakeFiles/profile_then_pretenure.dir/profile_then_pretenure.cpp.o.d"
+  "profile_then_pretenure"
+  "profile_then_pretenure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_then_pretenure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/Collector.cpp" "src/CMakeFiles/tilgc.dir/gc/Collector.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/gc/Collector.cpp.o.d"
+  "/root/repo/src/gc/Evacuator.cpp" "src/CMakeFiles/tilgc.dir/gc/Evacuator.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/gc/Evacuator.cpp.o.d"
+  "/root/repo/src/gc/GenerationalCollector.cpp" "src/CMakeFiles/tilgc.dir/gc/GenerationalCollector.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/gc/GenerationalCollector.cpp.o.d"
+  "/root/repo/src/gc/HeapVerifier.cpp" "src/CMakeFiles/tilgc.dir/gc/HeapVerifier.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/gc/HeapVerifier.cpp.o.d"
+  "/root/repo/src/gc/SemispaceCollector.cpp" "src/CMakeFiles/tilgc.dir/gc/SemispaceCollector.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/gc/SemispaceCollector.cpp.o.d"
+  "/root/repo/src/heap/LargeObjectSpace.cpp" "src/CMakeFiles/tilgc.dir/heap/LargeObjectSpace.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/heap/LargeObjectSpace.cpp.o.d"
+  "/root/repo/src/heap/Space.cpp" "src/CMakeFiles/tilgc.dir/heap/Space.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/heap/Space.cpp.o.d"
+  "/root/repo/src/profile/AllocSite.cpp" "src/CMakeFiles/tilgc.dir/profile/AllocSite.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/profile/AllocSite.cpp.o.d"
+  "/root/repo/src/profile/HeapProfiler.cpp" "src/CMakeFiles/tilgc.dir/profile/HeapProfiler.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/profile/HeapProfiler.cpp.o.d"
+  "/root/repo/src/runtime/Mutator.cpp" "src/CMakeFiles/tilgc.dir/runtime/Mutator.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/runtime/Mutator.cpp.o.d"
+  "/root/repo/src/stack/ShadowStack.cpp" "src/CMakeFiles/tilgc.dir/stack/ShadowStack.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/stack/ShadowStack.cpp.o.d"
+  "/root/repo/src/stack/StackScanner.cpp" "src/CMakeFiles/tilgc.dir/stack/StackScanner.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/stack/StackScanner.cpp.o.d"
+  "/root/repo/src/stack/TraceTable.cpp" "src/CMakeFiles/tilgc.dir/stack/TraceTable.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/stack/TraceTable.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/tilgc.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/tilgc.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

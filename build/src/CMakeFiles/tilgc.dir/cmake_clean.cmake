@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilgc.dir/gc/Collector.cpp.o"
+  "CMakeFiles/tilgc.dir/gc/Collector.cpp.o.d"
+  "CMakeFiles/tilgc.dir/gc/Evacuator.cpp.o"
+  "CMakeFiles/tilgc.dir/gc/Evacuator.cpp.o.d"
+  "CMakeFiles/tilgc.dir/gc/GenerationalCollector.cpp.o"
+  "CMakeFiles/tilgc.dir/gc/GenerationalCollector.cpp.o.d"
+  "CMakeFiles/tilgc.dir/gc/HeapVerifier.cpp.o"
+  "CMakeFiles/tilgc.dir/gc/HeapVerifier.cpp.o.d"
+  "CMakeFiles/tilgc.dir/gc/SemispaceCollector.cpp.o"
+  "CMakeFiles/tilgc.dir/gc/SemispaceCollector.cpp.o.d"
+  "CMakeFiles/tilgc.dir/heap/LargeObjectSpace.cpp.o"
+  "CMakeFiles/tilgc.dir/heap/LargeObjectSpace.cpp.o.d"
+  "CMakeFiles/tilgc.dir/heap/Space.cpp.o"
+  "CMakeFiles/tilgc.dir/heap/Space.cpp.o.d"
+  "CMakeFiles/tilgc.dir/profile/AllocSite.cpp.o"
+  "CMakeFiles/tilgc.dir/profile/AllocSite.cpp.o.d"
+  "CMakeFiles/tilgc.dir/profile/HeapProfiler.cpp.o"
+  "CMakeFiles/tilgc.dir/profile/HeapProfiler.cpp.o.d"
+  "CMakeFiles/tilgc.dir/runtime/Mutator.cpp.o"
+  "CMakeFiles/tilgc.dir/runtime/Mutator.cpp.o.d"
+  "CMakeFiles/tilgc.dir/stack/ShadowStack.cpp.o"
+  "CMakeFiles/tilgc.dir/stack/ShadowStack.cpp.o.d"
+  "CMakeFiles/tilgc.dir/stack/StackScanner.cpp.o"
+  "CMakeFiles/tilgc.dir/stack/StackScanner.cpp.o.d"
+  "CMakeFiles/tilgc.dir/stack/TraceTable.cpp.o"
+  "CMakeFiles/tilgc.dir/stack/TraceTable.cpp.o.d"
+  "CMakeFiles/tilgc.dir/support/Table.cpp.o"
+  "CMakeFiles/tilgc.dir/support/Table.cpp.o.d"
+  "libtilgc.a"
+  "libtilgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Checksum.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Checksum.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Checksum.cpp.o.d"
+  "/root/repo/src/workloads/Color.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Color.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Color.cpp.o.d"
+  "/root/repo/src/workloads/FFT.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/FFT.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/FFT.cpp.o.d"
+  "/root/repo/src/workloads/Grobner.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Grobner.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Grobner.cpp.o.d"
+  "/root/repo/src/workloads/KnuthBendix.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/KnuthBendix.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/KnuthBendix.cpp.o.d"
+  "/root/repo/src/workloads/Lexgen.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Lexgen.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Lexgen.cpp.o.d"
+  "/root/repo/src/workloads/Life.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Life.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Life.cpp.o.d"
+  "/root/repo/src/workloads/MLLib.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/MLLib.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/MLLib.cpp.o.d"
+  "/root/repo/src/workloads/Nqueen.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Nqueen.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Nqueen.cpp.o.d"
+  "/root/repo/src/workloads/PIA.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/PIA.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/PIA.cpp.o.d"
+  "/root/repo/src/workloads/Peg.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Peg.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Peg.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Simple.cpp" "src/workloads/CMakeFiles/tilgc_workloads.dir/Simple.cpp.o" "gcc" "src/workloads/CMakeFiles/tilgc_workloads.dir/Simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tilgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

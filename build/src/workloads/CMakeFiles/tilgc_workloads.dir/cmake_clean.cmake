@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilgc_workloads.dir/Checksum.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Checksum.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Color.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Color.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/FFT.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/FFT.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Grobner.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Grobner.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/KnuthBendix.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/KnuthBendix.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Lexgen.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Lexgen.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Life.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Life.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/MLLib.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/MLLib.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Nqueen.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Nqueen.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/PIA.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/PIA.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Peg.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Peg.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/tilgc_workloads.dir/Simple.cpp.o"
+  "CMakeFiles/tilgc_workloads.dir/Simple.cpp.o.d"
+  "libtilgc_workloads.a"
+  "libtilgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

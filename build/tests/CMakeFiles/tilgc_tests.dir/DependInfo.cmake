@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evacuator_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/evacuator_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/evacuator_test.cpp.o.d"
+  "/root/repo/tests/gc_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/gc_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/gc_test.cpp.o.d"
+  "/root/repo/tests/heap_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/heap_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/heap_test.cpp.o.d"
+  "/root/repo/tests/marker_edge_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/marker_edge_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/marker_edge_test.cpp.o.d"
+  "/root/repo/tests/mutator_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/mutator_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/mutator_test.cpp.o.d"
+  "/root/repo/tests/object_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/object_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/object_test.cpp.o.d"
+  "/root/repo/tests/profile_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/profile_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/profile_test.cpp.o.d"
+  "/root/repo/tests/stack_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/stack_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/stack_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/torture_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/torture_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/torture_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/tilgc_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/tilgc_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tilgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tilgc_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

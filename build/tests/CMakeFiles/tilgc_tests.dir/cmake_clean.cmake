@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilgc_tests.dir/evacuator_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/evacuator_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/gc_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/gc_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/heap_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/heap_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/marker_edge_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/marker_edge_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/mutator_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/mutator_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/object_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/object_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/profile_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/profile_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/stack_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/stack_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/support_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/support_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/torture_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/torture_test.cpp.o.d"
+  "CMakeFiles/tilgc_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/tilgc_tests.dir/workload_test.cpp.o.d"
+  "tilgc_tests"
+  "tilgc_tests.pdb"
+  "tilgc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilgc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
