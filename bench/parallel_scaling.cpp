@@ -1,0 +1,91 @@
+//===- bench/parallel_scaling.cpp - Parallel evacuation scaling --------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+// Beyond the paper: sweeps GcThreads over the Table-4 workloads (k = 4,
+// generational collector) and reports the copy-phase and total-GC speedup
+// of the work-stealing ParallelEvacuator against the serial engine. Also
+// emits BENCH_parallel.json for machine consumption.
+//
+// Speedups are only meaningful on a multi-core host: on a single CPU the
+// thread counts > 1 still exercise the full parallel protocol but timeshare
+// one core, so expect slowdown there, not scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace tilgc;
+using namespace tilgc::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  int Reps = repsFromArgs(Argc, Argv, 3);
+  printBanner("Parallel evacuation scaling (beyond the paper), k = 4", Scale);
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("# Host has %u hardware thread(s); speedups above that count\n"
+              "# (and all speedups on a 1-CPU host) measure timesharing\n"
+              "# overhead of the parallel protocol, not scaling.\n\n",
+              Cores);
+
+  const unsigned Threads[] = {1, 2, 4, 8};
+  constexpr int NumT = 4;
+
+  Table Times("Copy-phase seconds by GcThreads (speedup vs serial)");
+  Times.setHeader({"Program", "Copy T=1", "Copy T=2", "Copy T=4", "Copy T=8",
+                   "GC T=1", "GC T=8", "Copy x2", "Copy x4", "Copy x8"});
+
+  std::FILE *Json = std::fopen("BENCH_parallel.json", "w");
+  if (Json)
+    std::fprintf(Json, "[\n");
+  bool FirstRecord = true;
+
+  for (const auto &W : allWorkloads()) {
+    Measurement M[NumT];
+    for (int I = 0; I < NumT; ++I) {
+      MutatorConfig C = configFor(CollectorKind::Generational, 4.0, *W, Scale);
+      C.GcThreads = Threads[I];
+      M[I] = runWorkloadAveraged(*W, C, Scale, Reps);
+    }
+    auto Speedup = [&](int I) {
+      return M[I].CopySec > 0 ? M[0].CopySec / M[I].CopySec : 0.0;
+    };
+    Times.addRow({W->name(), sec(M[0].CopySec), sec(M[1].CopySec),
+                  sec(M[2].CopySec), checked(M[3], sec(M[3].CopySec)),
+                  sec(M[0].GcSec), sec(M[3].GcSec),
+                  formatString("%.2f", Speedup(1)),
+                  formatString("%.2f", Speedup(2)),
+                  formatString("%.2f", Speedup(3))});
+    if (Json) {
+      for (int I = 0; I < NumT; ++I) {
+        std::fprintf(
+            Json,
+            "%s  {\"workload\": \"%s\", \"threads\": %u, \"k\": 4.0,\n"
+            "   \"copy_sec\": %.6f, \"gc_sec\": %.6f, \"total_sec\": %.6f,\n"
+            "   \"bytes_copied\": %llu, \"num_gc\": %llu,\n"
+            "   \"copy_speedup\": %.4f, \"gc_speedup\": %.4f,"
+            " \"valid\": %s}",
+            FirstRecord ? "" : ",\n", W->name(), Threads[I],
+            M[I].CopySec, M[I].GcSec, M[I].TotalSec,
+            (unsigned long long)M[I].BytesCopied,
+            (unsigned long long)M[I].NumGC,
+            M[I].CopySec > 0 ? M[0].CopySec / M[I].CopySec : 0.0,
+            M[I].GcSec > 0 ? M[0].GcSec / M[I].GcSec : 0.0,
+            M[I].Valid ? "true" : "false");
+        FirstRecord = false;
+      }
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n]\n");
+    std::fclose(Json);
+    std::printf("\nwrote BENCH_parallel.json\n");
+  }
+  Times.print(stdout);
+  return 0;
+}

@@ -16,6 +16,13 @@ Evacuator::Evacuator(const Config &C) : C(C) {
   assert(!C.TraceLOS || C.LOS);
   assert((C.DestYoung == nullptr) == (C.PromoteAgeThreshold <= 1) &&
          "aged tenuring needs a young destination and vice versa");
+  for (Space *S : C.From) {
+    if (!S)
+      continue;
+    FromLo[NumFrom] = S->baseAddr();
+    FromHi[NumFrom] = S->limitAddr();
+    ++NumFrom;
+  }
   ScanDest = C.Dest->frontier();
   ScanYoung = C.DestYoung ? C.DestYoung->frontier() : nullptr;
 }
@@ -60,32 +67,37 @@ Word *Evacuator::copy(Word *P) {
   return NewPayload;
 }
 
-void Evacuator::scanObject(Word *Payload) {
-  uint32_t Site =
-      C.Profiler ? meta::site(metaOf(Payload)) : 0;
+// The profiler test is hoisted out of the per-field loop by stamping the
+// scan path on the flag once per drain: a profiled run re-tests C.Profiler
+// for every pointer field otherwise, and unprofiled runs (every paper-table
+// reproduction) pay the branch for nothing.
+template <bool WithProfiler> void Evacuator::scanObject(Word *Payload) {
+  uint32_t Site = WithProfiler ? meta::site(metaOf(Payload)) : 0;
   forEachPointerField(Payload, [&](Word *Field) {
     forwardSlot(Field);
-    if (C.Profiler && *Field)
-      C.Profiler->onReferent(Site,
-                             meta::site(metaOf(reinterpret_cast<Word *>(
-                                 *Field))));
+    if constexpr (WithProfiler) {
+      if (*Field)
+        C.Profiler->onReferent(Site,
+                               meta::site(metaOf(reinterpret_cast<Word *>(
+                                   *Field))));
+    }
   });
 }
 
-void Evacuator::drain() {
+template <bool WithProfiler> void Evacuator::drainImpl() {
   bool Progress = true;
   while (Progress) {
     Progress = false;
     while (ScanDest < C.Dest->frontier()) {
       Word *Payload = ScanDest + HeaderWords;
-      scanObject(Payload);
+      scanObject<WithProfiler>(Payload);
       ScanDest += objectTotalWords(descriptorOf(Payload));
       Progress = true;
     }
     if (C.DestYoung) {
       while (ScanYoung < C.DestYoung->frontier()) {
         Word *Payload = ScanYoung + HeaderWords;
-        scanObject(Payload);
+        scanObject<WithProfiler>(Payload);
         ScanYoung += objectTotalWords(descriptorOf(Payload));
         Progress = true;
       }
@@ -93,8 +105,15 @@ void Evacuator::drain() {
     while (!LOSWork.empty()) {
       Word *Payload = LOSWork.back();
       LOSWork.pop_back();
-      scanObject(Payload);
+      scanObject<WithProfiler>(Payload);
       Progress = true;
     }
   }
+}
+
+void Evacuator::drain() {
+  if (C.Profiler)
+    drainImpl<true>();
+  else
+    drainImpl<false>();
 }

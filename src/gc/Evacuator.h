@@ -93,17 +93,26 @@ public:
   uint64_t objectsCopied() const { return ObjectsCopied; }
 
 private:
+  /// From-space bounds are cached in plain members at construction: the
+  /// per-slot test is the hottest load in a collection, and chasing
+  /// Space* -> Base/Limit through the config array costs three dependent
+  /// loads per query against zero for values the compiler can keep in
+  /// registers across the scan loop.
   bool inFromSpace(const Word *P) const {
-    for (Space *S : C.From)
-      if (S && S->contains(P))
+    for (unsigned I = 0; I < NumFrom; ++I)
+      if (P >= FromLo[I] && P < FromHi[I])
         return true;
     return false;
   }
 
   Word *copy(Word *P);
-  void scanObject(Word *Payload);
+  template <bool WithProfiler> void scanObject(Word *Payload);
+  template <bool WithProfiler> void drainImpl();
 
   Config C;
+  const Word *FromLo[3];
+  const Word *FromHi[3];
+  unsigned NumFrom = 0;
   Word *ScanDest;
   Word *ScanYoung;
   std::vector<Word *> LOSWork;

@@ -8,6 +8,8 @@
 
 #include "gc/Evacuator.h"
 #include "gc/HeapVerifier.h"
+#include "gc/ParallelEvacuator.h"
+#include "support/WorkerPool.h"
 
 #include <cstdio>
 
@@ -41,7 +43,11 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
 
   if (Opts.Barrier == BarrierKind::CardMarking)
     Cards.attach(*TenuredFrom);
+  if (Opts.GcThreads > 1)
+    Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
 }
+
+GenerationalCollector::~GenerationalCollector() = default;
 
 size_t GenerationalCollector::footprintBytes() const {
   return NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1) +
@@ -177,7 +183,8 @@ void GenerationalCollector::notePretenuredRun(Word *Payload, Word Descriptor,
   Runs.push_back(Run{Begin, End, NoScan});
 }
 
-void GenerationalCollector::processOldToYoungRoots(Evacuator &E) {
+template <typename SlotFn>
+void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
   // Write-barrier output.
   if (Opts.Barrier != BarrierKind::CardMarking) {
     for (Word *Slot : SSB.entries()) {
@@ -185,16 +192,16 @@ void GenerationalCollector::processOldToYoungRoots(Evacuator &E) {
       // the paper's collector filters them the same way.
       if (inNursery(Slot))
         continue;
-      E.forwardSlot(Slot);
+      Fn(Slot);
       ++Stats.SSBEntriesProcessed;
     }
   } else {
     Cards.forEachDirtyField(*TenuredFrom, [&](Word *Field) {
-      E.forwardSlot(Field);
+      Fn(Field);
       ++Stats.SSBEntriesProcessed;
     });
     for (Word *Slot : LOSDirtySlots) {
-      E.forwardSlot(Slot);
+      Fn(Slot);
       ++Stats.SSBEntriesProcessed;
     }
   }
@@ -215,8 +222,7 @@ void GenerationalCollector::processOldToYoungRoots(Evacuator &E) {
     while (P < R.End) {
       Word *Payload = P + HeaderWords;
       Word Descriptor = descriptorOf(Payload);
-      forEachPointerField(Payload,
-                          [&](Word *Field) { E.forwardSlot(Field); });
+      forEachPointerField(Payload, [&](Word *Field) { Fn(Field); });
       P += objectTotalWords(Descriptor);
     }
   }
@@ -224,13 +230,46 @@ void GenerationalCollector::processOldToYoungRoots(Evacuator &E) {
   // Large objects allocated since the last collection: their initializing
   // stores bypassed the barrier, so scan them like the pretenured region.
   for (Word *Payload : NewLargeObjects)
-    forEachPointerField(Payload, [&](Word *Field) { E.forwardSlot(Field); });
+    forEachPointerField(Payload, [&](Word *Field) { Fn(Field); });
+}
+
+template <typename SlotFn>
+void GenerationalCollector::forEachMinorRoot(SlotFn Fn) {
+  for (Word *Slot : Roots.FreshSlotRoots)
+    Fn(Slot);
+  for (unsigned R : Roots.RegRoots)
+    Fn(&(*Env.Regs)[R]);
+  // Promote-all + markers: roots in unchanged frames were redirected to
+  // the tenured generation by the previous collection and cannot point
+  // into the nursery — skip them entirely (the heart of §5). Under aged
+  // tenuring young survivors keep moving, so they must be processed.
+  if (!Opts.UseStackMarkers || AgedTenuring()) {
+    for (Word *Slot : Roots.ReusedSlotRoots)
+      Fn(Slot);
+  } else if (TILGC_UNLIKELY(Opts.VerifyReuseInvariant)) {
+    // Debug mode: check the invariant behind the skip — a root in an
+    // unchanged frame can never point into the nursery. (Off by default:
+    // the check is O(reused roots), the very cost §5 eliminates.)
+    for (Word *Slot : Roots.ReusedSlotRoots) {
+      assert((!*Slot || !inNursery(reinterpret_cast<Word *>(*Slot))) &&
+             "reused stack root points into the nursery");
+      (void)Slot;
+    }
+  }
+  // Old->young edges created by promotion at *previous* aged minors.
+  for (Word *Slot : CrossGenSlots)
+    Fn(Slot);
+  forEachOldToYoungRoot(Fn);
 }
 
 void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
-  // The tenured generation must be able to absorb every survivor.
-  if (TenuredFrom->freeBytes() <
-      NurseryFrom->usedBytes() + NeedTenuredBytes) {
+  // The tenured generation must be able to absorb every survivor — plus,
+  // in parallel mode, the block-tail padding the handout can waste.
+  size_t MinorNeed = NurseryFrom->usedBytes() + NeedTenuredBytes;
+  if (Pool)
+    MinorNeed += ParallelEvacuator::reserveSlackBytes(
+        NurseryFrom->usedBytes(), Opts.GcThreads);
+  if (TenuredFrom->freeBytes() < MinorNeed) {
     doMajor(NeedTenuredBytes);
     return;
   }
@@ -252,42 +291,32 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
   C.TraceLOS = false;
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
-  Evacuator E(C);
 
-  {
-    TimerScope T(Stats.StackTime); // Root processing.
-    for (Word *Slot : Roots.FreshSlotRoots)
-      E.forwardSlot(Slot);
-    for (unsigned R : Roots.RegRoots)
-      E.forwardSlot(&(*Env.Regs)[R]);
-    // Promote-all + markers: roots in unchanged frames were redirected to
-    // the tenured generation by the previous collection and cannot point
-    // into the nursery — skip them entirely (the heart of §5). Under aged
-    // tenuring young survivors keep moving, so they must be processed.
-    if (!Opts.UseStackMarkers || AgedTenuring()) {
-      for (Word *Slot : Roots.ReusedSlotRoots)
-        E.forwardSlot(Slot);
-    } else if (TILGC_UNLIKELY(Opts.VerifyReuseInvariant)) {
-      // Debug mode: check the invariant behind the skip — a root in an
-      // unchanged frame can never point into the nursery. (Off by default:
-      // the check is O(reused roots), the very cost §5 eliminates.)
-      for (Word *Slot : Roots.ReusedSlotRoots) {
-        assert((!*Slot || !inNursery(reinterpret_cast<Word *>(*Slot))) &&
-               "reused stack root points into the nursery");
-        (void)Slot;
-      }
+  if (Pool) {
+    ParallelEvacuator E(C, *Pool);
+    {
+      TimerScope T(Stats.StackTime); // Root gathering.
+      forEachMinorRoot([&](Word *Slot) { E.addRoot(Slot); });
     }
-    // Old->young edges created by promotion at *previous* aged minors.
-    for (Word *Slot : CrossGenSlots)
-      E.forwardSlot(Slot);
-    processOldToYoungRoots(E);
+    {
+      TimerScope T(Stats.CopyTime);
+      E.run();
+    }
+    Stats.BytesCopied += E.bytesCopied();
+    Stats.ObjectsCopied += E.objectsCopied();
+  } else {
+    Evacuator E(C);
+    {
+      TimerScope T(Stats.StackTime); // Root processing.
+      forEachMinorRoot([&](Word *Slot) { E.forwardSlot(Slot); });
+    }
+    {
+      TimerScope T(Stats.CopyTime);
+      E.drain();
+    }
+    Stats.BytesCopied += E.bytesCopied();
+    Stats.ObjectsCopied += E.objectsCopied();
   }
-  {
-    TimerScope T(Stats.CopyTime);
-    E.drain();
-  }
-  Stats.BytesCopied += E.bytesCopied();
-  Stats.ObjectsCopied += E.objectsCopied();
 
   if (AgedTenuring()) {
     // Keep only real heap slots: stack slots and registers are rescanned
@@ -347,8 +376,11 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
 
   size_t Incoming = TenuredFrom->usedBytes() + NurseryFrom->usedBytes() +
                     (AgedTenuring() ? NurseryTo->usedBytes() : 0);
-  if (TenuredTo->capacityBytes() < Incoming + NeedTenuredBytes)
-    TenuredTo->reserve(Incoming + NeedTenuredBytes);
+  size_t Reserve = Incoming + NeedTenuredBytes;
+  if (Pool)
+    Reserve += ParallelEvacuator::reserveSlackBytes(Incoming, Opts.GcThreads);
+  if (TenuredTo->capacityBytes() < Reserve)
+    TenuredTo->reserve(Reserve);
 
   Evacuator::Config C;
   C.From = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr, TenuredFrom};
@@ -357,25 +389,44 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
   C.TraceLOS = true;
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
-  Evacuator E(C);
 
-  {
-    TimerScope T(Stats.StackTime);
-    for (Word *Slot : Roots.FreshSlotRoots)
-      E.forwardSlot(Slot);
-    for (unsigned R : Roots.RegRoots)
-      E.forwardSlot(&(*Env.Regs)[R]);
-    // Everything moves in a major collection: reused roots are processed,
-    // the saving is only the avoided re-decoding of unchanged frames.
-    for (Word *Slot : Roots.ReusedSlotRoots)
-      E.forwardSlot(Slot);
+  // Everything moves in a major collection: reused roots are processed,
+  // the saving is only the avoided re-decoding of unchanged frames.
+  if (Pool) {
+    ParallelEvacuator E(C, *Pool);
+    {
+      TimerScope T(Stats.StackTime);
+      for (Word *Slot : Roots.FreshSlotRoots)
+        E.addRoot(Slot);
+      for (unsigned R : Roots.RegRoots)
+        E.addRoot(&(*Env.Regs)[R]);
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        E.addRoot(Slot);
+    }
+    {
+      TimerScope T(Stats.CopyTime);
+      E.run();
+    }
+    Stats.BytesCopied += E.bytesCopied();
+    Stats.ObjectsCopied += E.objectsCopied();
+  } else {
+    Evacuator E(C);
+    {
+      TimerScope T(Stats.StackTime);
+      for (Word *Slot : Roots.FreshSlotRoots)
+        E.forwardSlot(Slot);
+      for (unsigned R : Roots.RegRoots)
+        E.forwardSlot(&(*Env.Regs)[R]);
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        E.forwardSlot(Slot);
+    }
+    {
+      TimerScope T(Stats.CopyTime);
+      E.drain();
+    }
+    Stats.BytesCopied += E.bytesCopied();
+    Stats.ObjectsCopied += E.objectsCopied();
   }
-  {
-    TimerScope T(Stats.CopyTime);
-    E.drain();
-  }
-  Stats.BytesCopied += E.bytesCopied();
-  Stats.ObjectsCopied += E.objectsCopied();
 
   // Sweep the large-object space and account deaths.
   uint64_t NowKB = allocStampKB();

@@ -36,11 +36,13 @@
 #include "heap/Space.h"
 #include "heap/StoreBuffer.h"
 
+#include <memory>
 #include <vector>
 
 namespace tilgc {
 
 class Evacuator;
+class WorkerPool;
 
 /// Two-generation copying collector with LOS, SSB/cards, stack markers,
 /// pretenuring and tenure-policy options.
@@ -85,9 +87,13 @@ public:
     bool VerifyReuseInvariant = false;
     /// Debug: walk and validate the whole heap after every collection.
     bool VerifyHeapAfterGC = false;
+    /// Evacuation threads. 1 = the serial engine (bit-identical paper
+    /// reproduction); >1 = the work-stealing ParallelEvacuator.
+    unsigned GcThreads = 1;
   };
 
   GenerationalCollector(const CollectorEnv &Env, const Options &Opts);
+  ~GenerationalCollector() override;
 
   Word *allocate(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
                  uint32_t SiteId) override;
@@ -121,9 +127,16 @@ private:
   /// Scans the stack into Roots, accounting time and counters.
   void scanStackForRoots();
 
-  /// Processes write-barrier output, remembered pretenured regions and new
-  /// large objects as minor-collection roots.
-  void processOldToYoungRoots(Evacuator &E);
+  /// Enumerates write-barrier output, remembered pretenured regions and
+  /// new large objects — the minor collection's heap-side roots — into
+  /// \p Fn(Word *Slot). Shared by the serial path (Fn forwards the slot
+  /// immediately) and the parallel one (Fn queues it as a root batch).
+  template <typename SlotFn> void forEachOldToYoungRoot(SlotFn Fn);
+
+  /// Enumerates every minor-collection root (stack, registers, the §5
+  /// reused-frame policy, promotion-created cross-generation slots, then
+  /// forEachOldToYoungRoot) into \p Fn, in the serial engine's order.
+  template <typename SlotFn> void forEachMinorRoot(SlotFn Fn);
 
   /// Registers a pretenured allocation for the next region scan.
   void notePretenuredRun(Word *Payload, Word Descriptor, bool NoScan);
@@ -174,6 +187,8 @@ private:
 
   uint64_t LiveBytes = 0;
   uint64_t LOSAllocSinceGC = 0;
+  /// Present only when Opts.GcThreads > 1.
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace tilgc

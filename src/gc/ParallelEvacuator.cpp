@@ -1,0 +1,289 @@
+//===- gc/ParallelEvacuator.cpp - Work-stealing copy engine ---------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ParallelEvacuator.h"
+
+#include <cstring>
+#include <thread>
+
+using namespace tilgc;
+
+ParallelEvacuator::ParallelEvacuator(const Config &C, WorkerPool &Pool)
+    : C(C), Pool(Pool) {
+  assert(C.Dest && "evacuation needs a destination");
+  assert(!C.TraceLOS || C.LOS);
+  assert((C.DestYoung == nullptr) == (C.PromoteAgeThreshold <= 1) &&
+         "aged tenuring needs a young destination and vice versa");
+  for (Space *S : C.From) {
+    if (!S)
+      continue;
+    FromLo[NumFrom] = S->baseAddr();
+    FromHi[NumFrom] = S->limitAddr();
+    ++NumFrom;
+  }
+  unsigned N = Pool.numWorkers();
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    auto W = std::make_unique<Worker>();
+    W->Old.S = C.Dest;
+    W->Young.S = C.DestYoung;
+    W->Seed = I * 2654435761u + 97u;
+    if (C.Profiler)
+      W->Prof = std::make_unique<HeapProfiler>();
+    Workers.push_back(std::move(W));
+  }
+}
+
+ParallelEvacuator::~ParallelEvacuator() = default;
+
+Word *ParallelEvacuator::localAllocate(Worker &W, LocalAlloc &LA,
+                                       Word Descriptor, Word Meta,
+                                       uint32_t Total) {
+  if (TILGC_UNLIKELY(!LA.BlockBegin || LA.Alloc + Total > LA.BlockEnd)) {
+    retireBlock(W, LA);
+    size_t MaxW = Total > BlockWords ? Total : BlockWords;
+    if (!LA.S->allocateBlock(Total, MaxW, LA.BlockBegin, LA.BlockEnd)) {
+      LA.BlockBegin = LA.BlockEnd = LA.Alloc = LA.Scan = nullptr;
+      return nullptr;
+    }
+    LA.Alloc = LA.Scan = LA.BlockBegin;
+  }
+  Word *P = LA.Alloc;
+  LA.Alloc += Total;
+  P[0] = Descriptor;
+  P[1] = Meta;
+  return P + HeaderWords;
+}
+
+/// Publishes any unscanned tail, then returns or pads the unused words so
+/// the destination stays linearly walkable.
+void ParallelEvacuator::retireBlock(Worker &W, LocalAlloc &LA) {
+  if (!LA.BlockBegin)
+    return;
+  if (LA.Scan < LA.Alloc)
+    publishSpan(W, Span{LA.Scan, LA.Alloc});
+  if (LA.Alloc < LA.BlockEnd &&
+      !LA.S->returnBlockTail(LA.Alloc, LA.BlockEnd))
+    LA.Alloc[0] = header::makePad(static_cast<uint32_t>(LA.BlockEnd -
+                                                        LA.Alloc));
+  LA.BlockBegin = LA.BlockEnd = LA.Alloc = LA.Scan = nullptr;
+}
+
+void ParallelEvacuator::publishSpan(Worker &W, Span S) {
+  if (!W.Deque.push(S))
+    W.Overflow.push_back(S);
+}
+
+Word *ParallelEvacuator::copy(Worker &W, Word *P) {
+  std::atomic_ref<Word> ADesc(descriptorOf(P));
+  Word Descriptor = ADesc.load(std::memory_order_acquire);
+  if (header::isForwarded(Descriptor))
+    return header::forwardTarget(Descriptor);
+
+  Word Meta = metaOf(P);
+  unsigned OldAge = meta::age(Meta);
+  Word NewMeta = meta::withBumpedAge(Meta);
+
+  LocalAlloc *LA = &W.Old;
+  if (C.DestYoung && OldAge + 1 < C.PromoteAgeThreshold)
+    LA = &W.Young;
+
+  uint32_t Total = objectTotalWords(Descriptor);
+  Word *NewPayload = localAllocate(W, *LA, Descriptor, NewMeta, Total);
+  if (TILGC_UNLIKELY(!NewPayload) && LA == &W.Young) {
+    // Young destination exhausted under parallel block handout: promote
+    // early. The object is still copied exactly once; only its target
+    // generation differs from the serial aged-tenuring policy.
+    LA = &W.Old;
+    NewPayload = localAllocate(W, *LA, Descriptor, NewMeta, Total);
+  }
+  assert(NewPayload &&
+         "destination space overflowed during parallel evacuation");
+  uint32_t Len = header::length(Descriptor);
+  std::memcpy(NewPayload, P, static_cast<size_t>(Len) * sizeof(Word));
+
+  // Copy-then-publish: the release CAS makes header + payload visible to
+  // any thread that acquires the forwarding word.
+  Word Fwd = header::makeForward(NewPayload);
+  if (!ADesc.compare_exchange_strong(Descriptor, Fwd,
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+    LA->Alloc -= Total; // Retract the losing speculative copy.
+    assert(header::isForwarded(Descriptor) && "CAS lost to a non-forward");
+    return header::forwardTarget(Descriptor);
+  }
+
+  uint64_t Bytes = objectTotalBytes(Descriptor);
+  W.BytesCopied += Bytes;
+  ++W.ObjectsCopied;
+  if (W.Prof) {
+    uint32_t Site = meta::site(Meta);
+    W.Prof->onCopy(Site, Bytes);
+    if (C.CountSurvivedFirst && OldAge == 0)
+      W.Prof->onSurviveFirst(Site);
+  }
+  return NewPayload;
+}
+
+void ParallelEvacuator::forwardSlot(Worker &W, Word *Slot) {
+  // Slot words are accessed atomically: duplicate SSB entries may race two
+  // workers onto the same slot (both store the same forwarded target).
+  // Release/acquire, not relaxed: a worker that reads an already-updated
+  // slot may dereference the target's header (the profiler's referent-site
+  // lookup) without ever touching the forwarding word, so the slot itself
+  // must carry the copier's happens-before edge.
+  std::atomic_ref<Word> ASlot(*Slot);
+  Word Bits = ASlot.load(std::memory_order_acquire);
+  if (!Bits)
+    return;
+  Word *P = reinterpret_cast<Word *>(Bits);
+  if (inFromSpace(P)) {
+    Word *Target = copy(W, P);
+    ASlot.store(reinterpret_cast<Word>(Target), std::memory_order_release);
+    if (C.CrossGenOut && C.DestYoung->contains(Target) &&
+        !C.DestYoung->contains(Slot) && !inFromSpace(Slot))
+      W.CrossGen.push_back(Slot);
+    return;
+  }
+  if (C.TraceLOS && C.LOS->contains(P) && C.LOS->mark(P)) {
+    Word *Begin = P - HeaderWords;
+    publishSpan(W, Span{Begin, Begin + objectTotalWords(descriptorOf(P))});
+  }
+}
+
+void ParallelEvacuator::scanObject(Worker &W, Word *Payload) {
+  uint32_t Site = W.Prof ? meta::site(metaOf(Payload)) : 0;
+  forEachPointerField(Payload, [&](Word *Field) {
+    forwardSlot(W, Field);
+    if (W.Prof) {
+      Word Bits = std::atomic_ref<Word>(*Field).load(std::memory_order_acquire);
+      if (Bits)
+        W.Prof->onReferent(
+            Site, meta::site(metaOf(reinterpret_cast<Word *>(Bits))));
+    }
+  });
+}
+
+void ParallelEvacuator::scanSpan(Worker &W, Span S) {
+  Word *P = S.Begin;
+  while (P < S.End) {
+    Word *Payload = P + HeaderWords;
+    P += objectTotalWords(descriptorOf(Payload));
+    scanObject(W, Payload);
+  }
+  assert(P == S.End && "span scan overran its end");
+}
+
+/// Scans a bounded batch of the worker's own gray backlog, carving a span
+/// for thieves first when the backlog is long. Returns false if there was
+/// nothing to scan.
+bool ParallelEvacuator::scanLocalBatch(Worker &W, LocalAlloc &LA) {
+  if (LA.Scan >= LA.Alloc)
+    return false;
+  if (static_cast<size_t>(LA.Alloc - LA.Scan) > 2 * SpanWords) {
+    Word *B = LA.Scan;
+    while (B < LA.Alloc && static_cast<size_t>(B - LA.Scan) < SpanWords)
+      B += objectTotalWords(descriptorOf(B + HeaderWords));
+    if (W.Deque.push(Span{LA.Scan, B}))
+      LA.Scan = B; // Deque full: keep the backlog local and scan on.
+  }
+  int Budget = 64;
+  while (Budget-- > 0 && LA.Scan < LA.Alloc) {
+    Word *Payload = LA.Scan + HeaderWords;
+    // Advance before scanning: scanning can retire this block (publishing
+    // [Scan, Alloc)), and the cursor must already be past this object.
+    LA.Scan += objectTotalWords(descriptorOf(Payload));
+    scanObject(W, Payload);
+  }
+  return true;
+}
+
+bool ParallelEvacuator::scanStep(Worker &W) {
+  if (scanLocalBatch(W, W.Old))
+    return true;
+  if (C.DestYoung && scanLocalBatch(W, W.Young))
+    return true;
+  if (!W.Overflow.empty()) {
+    Span S = W.Overflow.back();
+    W.Overflow.pop_back();
+    scanSpan(W, S);
+    return true;
+  }
+  Span S;
+  if (W.Deque.pop(S)) {
+    scanSpan(W, S);
+    return true;
+  }
+  return false;
+}
+
+bool ParallelEvacuator::trySteal(Worker &W, unsigned Index, Span &Out) {
+  unsigned N = static_cast<unsigned>(Workers.size());
+  if (N <= 1)
+    return false;
+  W.Seed = W.Seed * 1664525u + 1013904223u;
+  unsigned Start = W.Seed % N;
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned V = (Start + I) % N;
+    if (V == Index)
+      continue;
+    if (Workers[V]->Deque.steal(Out))
+      return true;
+  }
+  return false;
+}
+
+void ParallelEvacuator::workerMain(unsigned Index) {
+  Worker &W = *Workers[Index];
+  for (size_t I = W.RootBegin; I < W.RootEnd; ++I)
+    forwardSlot(W, Roots[I]);
+  for (;;) {
+    if (scanStep(W))
+      continue;
+    // Out of local work: go idle and scavenge. A worker re-activates
+    // before touching stolen work, so NumActive == 0 implies every deque
+    // and every local backlog is empty — global termination.
+    NumActive.fetch_sub(1, std::memory_order_acq_rel);
+    Span S;
+    for (;;) {
+      if (trySteal(W, Index, S)) {
+        NumActive.fetch_add(1, std::memory_order_acq_rel);
+        scanSpan(W, S);
+        break;
+      }
+      if (NumActive.load(std::memory_order_acquire) == 0)
+        return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelEvacuator::run() {
+  unsigned N = static_cast<unsigned>(Workers.size());
+  size_t NumRoots = Roots.size();
+  for (unsigned I = 0; I < N; ++I) {
+    Workers[I]->RootBegin = NumRoots * I / N;
+    Workers[I]->RootEnd = NumRoots * (I + 1) / N;
+  }
+  NumActive.store(N, std::memory_order_relaxed);
+  Pool.runOnAll([this](unsigned I) { workerMain(I); });
+
+  for (std::unique_ptr<Worker> &WP : Workers) {
+    Worker &W = *WP;
+    assert(W.Overflow.empty() && W.Old.Scan == W.Old.Alloc &&
+           W.Young.Scan == W.Young.Alloc &&
+           "worker finished with unscanned gray work");
+    retireBlock(W, W.Old);
+    retireBlock(W, W.Young);
+    TotalBytesCopied += W.BytesCopied;
+    TotalObjectsCopied += W.ObjectsCopied;
+    if (C.Profiler && W.Prof)
+      C.Profiler->mergeFrom(*W.Prof);
+    if (C.CrossGenOut)
+      C.CrossGenOut->insert(C.CrossGenOut->end(), W.CrossGen.begin(),
+                            W.CrossGen.end());
+  }
+}

@@ -1,0 +1,168 @@
+//===- gc/ParallelEvacuator.h - Work-stealing copy engine -------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel twin of gc/Evacuator.h: the same Cheney evacuation
+/// semantics, executed by GcThreads workers on a work-stealing pool. This
+/// goes beyond the paper (the 1998 TIL runtime was single-threaded); see
+/// DESIGN.md "Beyond the paper: parallel evacuation" for the protocol
+/// rationale. The serial engine remains the GcThreads == 1 path, so every
+/// paper-table reproduction stays deterministic and bit-identical.
+///
+/// Protocol summary:
+///
+///  * **CAS-installed forwarding.** A worker that finds an unforwarded
+///    from-space object copies it into its private block first, then
+///    compare-exchanges the forwarding word into the descriptor. Losers
+///    retract their speculative copy (a private bump-pointer decrement) and
+///    adopt the winner's target from the failed CAS. copy-then-publish
+///    means a loser never observes a half-copied winner.
+///
+///  * **Per-worker copy blocks.** Destination spaces hand out fixed-size
+///    blocks through the thread-safe Space::allocateBlock; all object
+///    allocation inside a block is single-threaded. Unused block tails are
+///    returned to the space when still at the frontier, else stamped with a
+///    Pad filler so spaces stay linearly walkable.
+///
+///  * **Span-granular gray work.** Each worker Cheney-scans its own block
+///    (copied objects are scanned by the worker that copied them — the
+///    cache-friendly case). When the local backlog exceeds two spans, the
+///    worker carves fixed-size spans off the head and publishes them on its
+///    Chase-Lev deque; idle workers steal from the tail. LOS objects won by
+///    an atomic mark are published as single-object spans.
+///
+///  * **Termination.** A global active-worker count: a worker goes idle
+///    only with empty local work, and the phase ends when the count reaches
+///    zero — at which point no deque can hold work, because an owner always
+///    drains its own deque before idling.
+///
+///  * **Deterministic accounting.** BytesCopied / ObjectsCopied / profiler
+///    counts are accumulated per worker (the profiler into a private
+///    scratch) and merged after the join, so totals — and therefore
+///    profile-driven pretenuring decisions — are identical across thread
+///    counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_PARALLELEVACUATOR_H
+#define TILGC_GC_PARALLELEVACUATOR_H
+
+#include "gc/Evacuator.h"
+#include "heap/LargeObjectSpace.h"
+#include "heap/Space.h"
+#include "object/Object.h"
+#include "profile/HeapProfiler.h"
+#include "support/WorkerPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tilgc {
+
+/// One parallel evacuation pass: gather roots with addRoot(), then run().
+class ParallelEvacuator {
+public:
+  /// Reuses the serial engine's configuration (spaces, policy, profiler).
+  using Config = Evacuator::Config;
+
+  /// Words per copy block handed to a worker (32KB). Objects larger than a
+  /// block get an exactly-sized private block.
+  static constexpr size_t BlockWords = 4096;
+  /// Target words per published scan span (8KB).
+  static constexpr size_t SpanWords = 1024;
+
+  ParallelEvacuator(const Config &C, WorkerPool &Pool);
+  ~ParallelEvacuator();
+
+  /// Queues \p Slot for forwarding; call before run(). Duplicate slots are
+  /// tolerated (slot words are accessed atomically during the pass).
+  void addRoot(Word *Slot) { Roots.push_back(Slot); }
+
+  /// Runs the parallel pass to completion: forwards all queued roots,
+  /// drains the transitive closure, retires worker blocks (pad or return
+  /// tails), and merges per-worker stats, profiler scratches and cross-gen
+  /// slot lists.
+  void run();
+
+  uint64_t bytesCopied() const { return TotalBytesCopied; }
+  uint64_t objectsCopied() const { return TotalObjectsCopied; }
+
+  /// Extra destination capacity (beyond live bytes) the block handout may
+  /// consume as pad waste when copying \p IncomingBytes with \p Threads
+  /// workers. Collectors add this to their worst-case reserves.
+  static size_t reserveSlackBytes(size_t IncomingBytes, unsigned Threads) {
+    return IncomingBytes / 8 +
+           static_cast<size_t>(Threads) * BlockWords * sizeof(Word) * 2 +
+           (64u << 10);
+  }
+
+private:
+  /// A contiguous run of fully-copied objects awaiting scanning.
+  struct Span {
+    Word *Begin;
+    Word *End;
+  };
+
+  /// Private bump allocator over blocks granted by a destination space.
+  struct LocalAlloc {
+    Space *S = nullptr;
+    Word *BlockBegin = nullptr;
+    Word *BlockEnd = nullptr;
+    Word *Alloc = nullptr; ///< Next free word in the current block.
+    Word *Scan = nullptr;  ///< Gray cursor; [Scan, Alloc) awaits scanning.
+  };
+
+  struct Worker {
+    WorkStealingDeque<Span> Deque;
+    std::vector<Span> Overflow; ///< Spill when the deque is full.
+    LocalAlloc Old;
+    LocalAlloc Young;
+    std::vector<Word *> CrossGen;
+    std::unique_ptr<HeapProfiler> Prof;
+    uint64_t BytesCopied = 0;
+    uint64_t ObjectsCopied = 0;
+    uint32_t Seed = 0;
+    size_t RootBegin = 0;
+    size_t RootEnd = 0;
+  };
+
+  void workerMain(unsigned Index);
+  void forwardSlot(Worker &W, Word *Slot);
+  Word *copy(Worker &W, Word *P);
+  Word *localAllocate(Worker &W, LocalAlloc &LA, Word Descriptor, Word Meta,
+                      uint32_t Total);
+  void retireBlock(Worker &W, LocalAlloc &LA);
+  void scanObject(Worker &W, Word *Payload);
+  void scanSpan(Worker &W, Span S);
+  bool scanLocalBatch(Worker &W, LocalAlloc &LA);
+  bool scanStep(Worker &W);
+  bool trySteal(Worker &W, unsigned Index, Span &Out);
+  void publishSpan(Worker &W, Span S);
+
+  bool inFromSpace(const Word *P) const {
+    for (unsigned I = 0; I < NumFrom; ++I)
+      if (P >= FromLo[I] && P < FromHi[I])
+        return true;
+    return false;
+  }
+
+  Config C;
+  WorkerPool &Pool;
+  const Word *FromLo[3];
+  const Word *FromHi[3];
+  unsigned NumFrom = 0;
+  std::vector<Word *> Roots;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::atomic<unsigned> NumActive{0};
+  uint64_t TotalBytesCopied = 0;
+  uint64_t TotalObjectsCopied = 0;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_PARALLELEVACUATOR_H

@@ -7,6 +7,8 @@
 #include "gc/SemispaceCollector.h"
 
 #include "gc/Evacuator.h"
+#include "gc/ParallelEvacuator.h"
+#include "support/WorkerPool.h"
 
 #include <algorithm>
 #include <cstring>
@@ -21,7 +23,11 @@ SemispaceCollector::SemispaceCollector(const CollectorEnv &Env,
       std::clamp<size_t>(Opts.BudgetBytes / 2, 16u << 10, 4u << 20);
   SpaceA.reserve(PerSpace);
   SpaceB.reserve(PerSpace);
+  if (Opts.GcThreads > 1)
+    Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
 }
+
+SemispaceCollector::~SemispaceCollector() = default;
 
 Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
                                    uint32_t PtrMask, uint32_t SiteId) {
@@ -65,8 +71,12 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
   }
 
   // Make sure the to-space can absorb the worst case (everything live)
-  // plus the allocation that triggered us.
+  // plus the allocation that triggered us. The parallel engine needs slack
+  // for per-worker block-tail padding on top of that.
   size_t WorstCase = Active->usedBytes() + NeedBytes;
+  if (Pool)
+    WorstCase += ParallelEvacuator::reserveSlackBytes(Active->usedBytes(),
+                                                      Opts.GcThreads);
   if (Inactive->capacityBytes() < WorstCase) {
     if (WorstCase * 2 > Opts.BudgetBytes)
       ++Stats.BudgetOverruns;
@@ -82,16 +92,29 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     C.Dest = Inactive;
     C.Profiler = Env.Profiler;
     C.CountSurvivedFirst = true;
-    Evacuator E(C);
-    for (Word *Slot : Roots.FreshSlotRoots)
-      E.forwardSlot(Slot);
-    for (Word *Slot : Roots.ReusedSlotRoots)
-      E.forwardSlot(Slot);
-    for (unsigned R : Roots.RegRoots)
-      E.forwardSlot(&(*Env.Regs)[R]);
-    E.drain();
-    Stats.BytesCopied += E.bytesCopied();
-    Stats.ObjectsCopied += E.objectsCopied();
+    if (Pool) {
+      ParallelEvacuator E(C, *Pool);
+      for (Word *Slot : Roots.FreshSlotRoots)
+        E.addRoot(Slot);
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        E.addRoot(Slot);
+      for (unsigned R : Roots.RegRoots)
+        E.addRoot(&(*Env.Regs)[R]);
+      E.run();
+      Stats.BytesCopied += E.bytesCopied();
+      Stats.ObjectsCopied += E.objectsCopied();
+    } else {
+      Evacuator E(C);
+      for (Word *Slot : Roots.FreshSlotRoots)
+        E.forwardSlot(Slot);
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        E.forwardSlot(Slot);
+      for (unsigned R : Roots.RegRoots)
+        E.forwardSlot(&(*Env.Regs)[R]);
+      E.drain();
+      Stats.BytesCopied += E.bytesCopied();
+      Stats.ObjectsCopied += E.objectsCopied();
+    }
   }
 
   sweepDeaths(*Active);

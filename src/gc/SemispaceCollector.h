@@ -23,7 +23,11 @@
 #include "gc/Collector.h"
 #include "heap/Space.h"
 
+#include <memory>
+
 namespace tilgc {
+
+class WorkerPool;
 
 /// Two-space copying collector.
 class SemispaceCollector : public Collector {
@@ -37,9 +41,13 @@ public:
     bool UseStackMarkers = false;
     unsigned MarkerPeriod = 25;
     bool AdaptiveMarkerPlacement = false;
+    /// Evacuation threads. 1 = the serial engine (bit-identical paper
+    /// reproduction); >1 = the work-stealing ParallelEvacuator.
+    unsigned GcThreads = 1;
   };
 
   SemispaceCollector(const CollectorEnv &Env, const Options &Opts);
+  ~SemispaceCollector() override;
 
   Word *allocate(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
                  uint32_t SiteId) override;
@@ -62,6 +70,8 @@ private:
   uint64_t LiveBytes = 0;
   MarkerManager Markers;
   ScanCache Cache;
+  /// Present only when Opts.GcThreads > 1.
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace tilgc

@@ -6,6 +6,7 @@
 
 #include "heap/LargeObjectSpace.h"
 
+#include <atomic>
 #include <cstdlib>
 
 using namespace tilgc;
@@ -32,10 +33,11 @@ bool LargeObjectSpace::mark(Word *Payload) {
   auto It = Index.find(Payload);
   assert(It != Index.end() && "marking an object not in the LOS");
   Entry &E = Objects[It->second];
-  if (E.Marked)
-    return false;
-  E.Marked = true;
-  return true;
+  // Atomic test-and-set: during a parallel major trace several workers may
+  // race to mark the same object; exactly one must win (and scan it). The
+  // Index itself is read-only during a trace, so the lookup needs no lock.
+  std::atomic_ref<uint8_t> AMark(E.Marked);
+  return AMark.exchange(1, std::memory_order_acq_rel) == 0;
 }
 
 void LargeObjectSpace::releaseBlock(Word *Payload) {

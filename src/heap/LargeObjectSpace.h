@@ -43,6 +43,8 @@ public:
   }
 
   /// Marks the object at \p Payload live; returns false if already marked.
+  /// Thread-safe against concurrent mark() calls (atomic test-and-set); the
+  /// parallel evacuator relies on exactly one marker winning.
   bool mark(Word *Payload);
 
   /// Frees every unmarked object and clears mark bits.
@@ -80,7 +82,7 @@ public:
 private:
   struct Entry {
     Word *Payload;
-    bool Marked;
+    uint8_t Marked; ///< uint8_t (not bool) so mark() can atomic_ref it.
   };
 
   void releaseBlock(Word *Payload);

@@ -17,6 +17,7 @@
 
 #include "object/Object.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 
@@ -52,8 +53,46 @@ public:
     return Payload;
   }
 
+  /// Atomically carves a block of up to \p MaxWords (at least \p MinWords)
+  /// off the allocation frontier. This is the parallel evacuator's handout
+  /// API: workers bump-allocate privately inside their block, so only the
+  /// block grant itself is contended. Returns false when fewer than
+  /// \p MinWords remain below the soft limit. Safe against concurrent
+  /// allocateBlock/returnBlockTail calls; NOT against concurrent allocate().
+  bool allocateBlock(size_t MinWords, size_t MaxWords, Word *&BlockBegin,
+                     Word *&BlockEnd) {
+    std::atomic_ref<Word *> ANext(Next);
+    Word *Cur = ANext.load(std::memory_order_relaxed);
+    size_t Take;
+    do {
+      size_t Avail = Cur < SoftLimit ? static_cast<size_t>(SoftLimit - Cur) : 0;
+      if (Avail < MinWords)
+        return false;
+      Take = Avail < MaxWords ? Avail : MaxWords;
+    } while (!ANext.compare_exchange_weak(Cur, Cur + Take,
+                                          std::memory_order_relaxed));
+    BlockBegin = Cur;
+    BlockEnd = Cur + Take;
+    return true;
+  }
+
+  /// Tries to give back the unused tail [\p Unused, \p BlockEnd) of the most
+  /// recently granted block. Succeeds only if the block is still the last
+  /// grant (frontier == BlockEnd); otherwise the caller must pad the tail.
+  bool returnBlockTail(Word *Unused, Word *BlockEnd) {
+    std::atomic_ref<Word *> ANext(Next);
+    Word *Expected = BlockEnd;
+    return ANext.compare_exchange_strong(Expected, Unused,
+                                         std::memory_order_relaxed);
+  }
+
   /// True if \p P points into this space's storage.
   bool contains(const Word *P) const { return P >= Base && P < Limit; }
+
+  /// Raw bounds, for callers that cache them across a tight loop (the
+  /// evacuator's per-slot from-space test).
+  const Word *baseAddr() const { return Base; }
+  const Word *limitAddr() const { return Limit; }
 
   /// Empties the space (objects become garbage; storage is retained).
   void reset() { Next = Base; }
@@ -86,11 +125,17 @@ public:
   /// \p Fn(PayloadPtr, LiveDescriptor, IsForwarded). For forwarded objects
   /// the descriptor is fetched from the copy so the walk can still compute
   /// sizes (the profiler's death sweep walks a from-space after a copy).
+  /// Pad fillers left by the parallel evacuator are skipped silently.
   template <typename FnT> void walk(FnT Fn) const {
     Word *P = Base;
     while (P < Next) {
+      Word Raw = P[0];
+      if (TILGC_UNLIKELY(header::isPad(Raw))) {
+        P += header::padWords(Raw);
+        continue;
+      }
       Word *Payload = P + HeaderWords;
-      Word Descriptor = Payload[-2];
+      Word Descriptor = Raw;
       bool Forwarded = header::isForwarded(Descriptor);
       if (Forwarded)
         Descriptor = descriptorOf(header::forwardTarget(Descriptor));

@@ -56,11 +56,18 @@ inline constexpr unsigned HeaderWords = 2;
 /// aggregates use pointer arrays (as TIL does for big structures).
 inline constexpr unsigned MaxRecordFields = 24;
 
-/// The three runtime representations TIL produces.
+/// The three runtime representations TIL produces, plus the collector's
+/// internal pad filler.
 enum class ObjectKind : uint8_t {
   Record,      ///< Mixed fields; pointer-ness given by the header mask.
   PtrArray,    ///< Every element is a pointer (or the null value 0).
   NonPtrArray, ///< Raw words: unboxed ints, doubles, bytes.
+  Pad,         ///< Dead filler words left by the parallel evacuator at the
+               ///< unused tail of a per-worker copy block. Never allocated
+               ///< by the mutator, never referenced; linear space walks skip
+               ///< it. Its length field holds the TOTAL size in words
+               ///< (including the descriptor word itself), so a gap as small
+               ///< as one word is representable.
 };
 
 /// An untyped machine word. Pointer values address an object's payload.
@@ -156,6 +163,26 @@ inline uint32_t ptrMask(Word Descriptor) {
   return static_cast<uint32_t>((Descriptor >> MaskShift) & PtrMaskMask);
 }
 
+/// Builds a pad descriptor covering \p TotalWords words of dead space
+/// (descriptor word included; a 1-word pad is a bare descriptor).
+inline Word makePad(uint32_t TotalWords) {
+  assert(TotalWords >= 1 && "pad must cover its own descriptor");
+  return (static_cast<Word>(ObjectKind::Pad) << KindShift) |
+         (static_cast<Word>(TotalWords) << LengthShift);
+}
+
+inline bool isPad(Word Descriptor) {
+  return !isForwarded(Descriptor) &&
+         ((Descriptor >> KindShift) & 3) ==
+             static_cast<Word>(ObjectKind::Pad);
+}
+
+/// Total words a pad descriptor covers.
+inline uint32_t padWords(Word Descriptor) {
+  assert(isPad(Descriptor) && "not a pad descriptor");
+  return static_cast<uint32_t>((Descriptor >> LengthShift) & LengthMask);
+}
+
 } // namespace header
 
 //===----------------------------------------------------------------------===//
@@ -245,6 +272,8 @@ template <typename FnT> void forEachPointerField(Word *Payload, FnT Fn) {
   }
   case ObjectKind::NonPtrArray:
     return;
+  case ObjectKind::Pad:
+    TILGC_UNREACHABLE("tracing a pad filler");
   }
   TILGC_UNREACHABLE("bad object kind");
 }

@@ -28,6 +28,21 @@ uint64_t HeapProfiler::totalAllocBytes() const {
   return Total;
 }
 
+void HeapProfiler::mergeFrom(const HeapProfiler &Other) {
+  for (uint32_t Id = 0; Id < Other.Stats.size(); ++Id) {
+    const SiteStats &From = Other.Stats[Id];
+    SiteStats &To = statsFor(Id);
+    To.AllocBytes += From.AllocBytes;
+    To.AllocCount += From.AllocCount;
+    To.CopiedBytes += From.CopiedBytes;
+    To.SurvivedFirstCount += From.SurvivedFirstCount;
+    To.DeathCount += From.DeathCount;
+    To.DeathAgeKBSum += From.DeathAgeKBSum;
+    To.ReferentSites.insert(From.ReferentSites.begin(),
+                            From.ReferentSites.end());
+  }
+}
+
 uint64_t HeapProfiler::totalCopiedBytes() const {
   uint64_t Total = 0;
   for (const SiteStats &S : Stats)

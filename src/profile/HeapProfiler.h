@@ -97,6 +97,12 @@ public:
   /// Forgets all statistics (benches reset between runs).
   void reset() { Stats.clear(); }
 
+  /// Accumulates \p Other into this profiler: counters add, referent-site
+  /// sets union. The parallel evacuator gives each worker a private scratch
+  /// profiler and merges them after the join, so a profiled parallel run
+  /// derives exactly the same pretenure set as a serial one.
+  void mergeFrom(const HeapProfiler &Other);
+
   const SiteStats &site(uint32_t Id) const;
   size_t numSites() const { return Stats.size(); }
 

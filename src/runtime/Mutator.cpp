@@ -25,6 +25,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.UseStackMarkers = Config.UseStackMarkers;
     Opts.MarkerPeriod = Config.MarkerPeriod;
     Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
+    Opts.GcThreads = Config.GcThreads;
     GC = std::make_unique<SemispaceCollector>(Env, Opts);
     break;
   }
@@ -42,6 +43,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.Pretenure = Config.Pretenure;
     Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;
     Opts.VerifyHeapAfterGC = Config.VerifyHeapAfterGC;
+    Opts.GcThreads = Config.GcThreads;
     GC = std::make_unique<GenerationalCollector>(Env, Opts);
     break;
   }

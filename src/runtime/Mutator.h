@@ -83,6 +83,9 @@ struct MutatorConfig {
   bool VerifyReuseInvariant = false;
   /// Debug: walk and validate the whole heap after every collection.
   bool VerifyHeapAfterGC = false;
+  /// Evacuation threads: 1 = the serial engine (bit-identical paper
+  /// reproduction); >1 = the work-stealing ParallelEvacuator.
+  unsigned GcThreads = 1;
 };
 
 /// The value an SML `raise` transports, plus the handler it targets. Thrown

@@ -1,0 +1,72 @@
+//===- support/WorkerPool.cpp - Work-stealing thread pool ------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+#include <cassert>
+
+using namespace tilgc;
+
+WorkerPool::WorkerPool(unsigned NumWorkers)
+    : Workers(NumWorkers < 1 ? 1 : NumWorkers) {
+  Threads.reserve(Workers - 1);
+  for (unsigned I = 1; I < Workers; ++I)
+    Threads.emplace_back([this, I] { threadMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::threadMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *MyJob;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCV.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+    }
+    (*MyJob)(Index);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--Unfinished == 0)
+        DoneCV.notify_one();
+    }
+  }
+}
+
+void WorkerPool::runOnAll(const std::function<void(unsigned)> &Fn) {
+  if (Workers == 1) {
+    Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    assert(Unfinished == 0 && "runOnAll is not reentrant");
+    Job = &Fn;
+    Unfinished = Workers - 1;
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  Fn(0);
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCV.wait(Lock, [&] { return Unfinished == 0; });
+    Job = nullptr;
+  }
+}

@@ -107,6 +107,8 @@ uint64_t structureHash(Frame &Roots) {
         for (uint32_t I = 0; I < Len; ++I)
           MixRef(V.asPtr()[I]);
         break;
+      case ObjectKind::Pad:
+        TILGC_UNREACHABLE("reachable value is a pad filler");
       }
     }
   };
