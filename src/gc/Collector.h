@@ -73,6 +73,40 @@ public:
   /// profiler can compute death ages.
   uint64_t allocStampKB() const { return Stats.BytesAllocated >> 10; }
 
+  // --- Mutator inline-allocation fast path ------------------------------
+  //
+  // The mutator may bump-allocate directly into a collector-designated
+  // space, bypassing the virtual allocate() call, as long as it performs
+  // the same metadata/accounting steps through the wrappers below and
+  // falls back to allocate() whenever the bump fails or the conditions
+  // change. Any collection invalidates the mutator's cached space (it
+  // re-validates against stats().NumGC).
+
+  /// Whether allocations from \p SiteId may use the inline fast path at
+  /// all (generational pretenuring routes some sites elsewhere).
+  virtual bool siteAllowsInlineAlloc(uint32_t SiteId) const {
+    (void)SiteId;
+    return false;
+  }
+
+  /// The space the mutator may bump-allocate into, or null if there is
+  /// none. \p MaxBytes receives the exclusive object-size bound for the
+  /// fast path (objects at least that big take the slow path).
+  virtual Space *inlineAllocSpace(size_t &MaxBytes) {
+    MaxBytes = 0;
+    return nullptr;
+  }
+
+  /// Metadata word for a new object (public face of makeMeta, for the
+  /// mutator fast path).
+  Word objectMeta(uint32_t SiteId) const { return makeMeta(SiteId); }
+
+  /// Allocation accounting (public face of accountAllocation, for the
+  /// mutator fast path).
+  void noteAllocated(ObjectKind Kind, Word Descriptor, uint32_t SiteId) {
+    accountAllocation(Kind, Descriptor, SiteId);
+  }
+
 protected:
   /// Builds the metadata header word for a new object.
   Word makeMeta(uint32_t SiteId) const {
@@ -117,10 +151,20 @@ protected:
     });
   }
 
+  /// Materializes the register roots as slot addresses in RegRootAddrs so
+  /// they can travel through the batched root pipeline as one span.
+  void gatherRegRoots() {
+    RegRootAddrs.clear();
+    for (unsigned R : Roots.RegRoots)
+      RegRootAddrs.push_back(&(*Env.Regs)[R]);
+  }
+
   CollectorEnv Env;
   GcStats Stats;
   RootSet Roots;
   ScanStats LastScan;
+  /// Scratch for gatherRegRoots (capacity-reusing, at most NumRegisters).
+  std::vector<Word *> RegRootAddrs;
 };
 
 } // namespace tilgc

@@ -85,6 +85,14 @@ public:
       LOSWork.push_back(P);
   }
 
+  /// Forwards a contiguous span of root slots. The batched root pipeline:
+  /// collectors hand whole RootSet vectors (and gathered heap-root batches)
+  /// here instead of looping forwardSlot at every call site.
+  void forwardRootSpan(Word *const *Slots, size_t Count) {
+    for (size_t I = 0; I < Count; ++I)
+      forwardSlot(Slots[I]);
+  }
+
   /// Processes gray objects (Cheney scan of the destinations plus the LOS
   /// worklist) until no work remains.
   void drain();

@@ -44,6 +44,7 @@ struct GcStats {
   uint64_t FramesScanned = 0;
   uint64_t FramesReused = 0;
   uint64_t SlotsVisited = 0;
+  uint64_t PlanWordsScanned = 0; ///< Compiled-scan bitmask words tested.
   uint64_t MaxFramesAtGC = 0;
   uint64_t FramesAtGCSum = 0; ///< Divide by NumGC for the average depth.
   uint64_t NewFramesSum = 0;  ///< Table 2's "New Frames in Stack" numerator.

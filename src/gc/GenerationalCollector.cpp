@@ -45,6 +45,17 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
     Cards.attach(*TenuredFrom);
   if (Opts.GcThreads > 1)
     Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
+
+  // Root-side containers live for the collector's lifetime; reserving here
+  // means steady-state collections never grow them. (SSB entries between
+  // collections are workload-dependent; 4096 covers the bench workloads'
+  // common case and the vector grows past it once, keeping the capacity.)
+  Roots.reserve(1024);
+  Cache.reserve(256, 1024);
+  RegRootAddrs.reserve(NumRegisters);
+  SSB.reserve(4096);
+  RootBatch.reserve(1024);
+  MinorCrossGen.reserve(256);
 }
 
 GenerationalCollector::~GenerationalCollector() = default;
@@ -165,10 +176,13 @@ void GenerationalCollector::scanStackForRoots() {
   LastScan = ScanStats();
   bool UseMarkers = Opts.UseStackMarkers;
   StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
-                     UseMarkers ? &Cache : nullptr, Roots, LastScan);
+                     UseMarkers ? &Cache : nullptr, Roots, LastScan,
+                     Opts.CompiledScanPlans);
   Stats.FramesScanned += LastScan.FramesScanned;
   Stats.FramesReused += LastScan.FramesReused;
   Stats.SlotsVisited += LastScan.SlotsVisited;
+  Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
+  gatherRegRoots();
 }
 
 void GenerationalCollector::notePretenuredRun(Word *Payload, Word Descriptor,
@@ -233,35 +247,6 @@ void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
     forEachPointerField(Payload, [&](Word *Field) { Fn(Field); });
 }
 
-template <typename SlotFn>
-void GenerationalCollector::forEachMinorRoot(SlotFn Fn) {
-  for (Word *Slot : Roots.FreshSlotRoots)
-    Fn(Slot);
-  for (unsigned R : Roots.RegRoots)
-    Fn(&(*Env.Regs)[R]);
-  // Promote-all + markers: roots in unchanged frames were redirected to
-  // the tenured generation by the previous collection and cannot point
-  // into the nursery — skip them entirely (the heart of §5). Under aged
-  // tenuring young survivors keep moving, so they must be processed.
-  if (!Opts.UseStackMarkers || AgedTenuring()) {
-    for (Word *Slot : Roots.ReusedSlotRoots)
-      Fn(Slot);
-  } else if (TILGC_UNLIKELY(Opts.VerifyReuseInvariant)) {
-    // Debug mode: check the invariant behind the skip — a root in an
-    // unchanged frame can never point into the nursery. (Off by default:
-    // the check is O(reused roots), the very cost §5 eliminates.)
-    for (Word *Slot : Roots.ReusedSlotRoots) {
-      assert((!*Slot || !inNursery(reinterpret_cast<Word *>(*Slot))) &&
-             "reused stack root points into the nursery");
-      (void)Slot;
-    }
-  }
-  // Old->young edges created by promotion at *previous* aged minors.
-  for (Word *Slot : CrossGenSlots)
-    Fn(Slot);
-  forEachOldToYoungRoot(Fn);
-}
-
 void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
   // The tenured generation must be able to absorb every survivor — plus,
   // in parallel mode, the block-tail padding the handout can waste.
@@ -281,22 +266,57 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
   Evacuator::Config C;
   C.From = {NurseryFrom, nullptr, nullptr};
   C.Dest = TenuredFrom;
-  std::vector<Word *> NewCrossGen;
   if (AgedTenuring()) {
     C.DestYoung = NurseryTo;
     C.PromoteAgeThreshold = Opts.PromoteAgeThreshold;
-    C.CrossGenOut = &NewCrossGen;
+    MinorCrossGen.clear();
+    C.CrossGenOut = &MinorCrossGen;
   }
   C.LOS = &LOS;
   C.TraceLOS = false;
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
 
+  // Batched root pipeline: gather the heap-side roots (barrier output,
+  // pretenured regions, new large objects) into one contiguous span, then
+  // hand whole spans to the engine in the serial order — stack, registers,
+  // the §5 reused-frame policy, promotion-created cross-generation slots,
+  // heap batch. Every gathered slot address is stable during a minor
+  // collection (the slots live outside the nursery), so gather-then-forward
+  // is equivalent to forwarding during enumeration.
+  {
+    TimerScope T(Stats.StackTime); // Root gathering.
+    RootBatch.clear();
+    forEachOldToYoungRoot([&](Word *Slot) { RootBatch.push_back(Slot); });
+  }
+
+  // Promote-all + markers: roots in unchanged frames were redirected to
+  // the tenured generation by the previous collection and cannot point
+  // into the nursery — skip them entirely (the heart of §5). Under aged
+  // tenuring young survivors keep moving, so they must be processed.
+  bool ProcessReused = !Opts.UseStackMarkers || AgedTenuring();
+  if (!ProcessReused && TILGC_UNLIKELY(Opts.VerifyReuseInvariant)) {
+    // Debug mode: check the invariant behind the skip — a root in an
+    // unchanged frame can never point into the nursery. (Off by default:
+    // the check is O(reused roots), the very cost §5 eliminates.)
+    for (Word *Slot : Roots.ReusedSlotRoots) {
+      assert((!*Slot || !inNursery(reinterpret_cast<Word *>(*Slot))) &&
+             "reused stack root points into the nursery");
+      (void)Slot;
+    }
+  }
+
   if (Pool) {
     ParallelEvacuator E(C, *Pool);
     {
-      TimerScope T(Stats.StackTime); // Root gathering.
-      forEachMinorRoot([&](Word *Slot) { E.addRoot(Slot); });
+      TimerScope T(Stats.StackTime); // Root hand-off.
+      E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
+      E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      if (ProcessReused)
+        E.addRootSpan(Roots.ReusedSlotRoots.data(),
+                      Roots.ReusedSlotRoots.size());
+      E.addRootSpan(CrossGenSlots.data(), CrossGenSlots.size());
+      E.addRootSpan(RootBatch.data(), RootBatch.size());
     }
     {
       TimerScope T(Stats.CopyTime);
@@ -308,7 +328,14 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     Evacuator E(C);
     {
       TimerScope T(Stats.StackTime); // Root processing.
-      forEachMinorRoot([&](Word *Slot) { E.forwardSlot(Slot); });
+      E.forwardRootSpan(Roots.FreshSlotRoots.data(),
+                        Roots.FreshSlotRoots.size());
+      E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      if (ProcessReused)
+        E.forwardRootSpan(Roots.ReusedSlotRoots.data(),
+                          Roots.ReusedSlotRoots.size());
+      E.forwardRootSpan(CrossGenSlots.data(), CrossGenSlots.size());
+      E.forwardRootSpan(RootBatch.data(), RootBatch.size());
     }
     {
       TimerScope T(Stats.CopyTime);
@@ -322,7 +349,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     // Keep only real heap slots: stack slots and registers are rescanned
     // from scratch every collection and their storage gets reused.
     CrossGenSlots.clear();
-    for (Word *Slot : NewCrossGen)
+    for (Word *Slot : MinorCrossGen)
       if (!Env.Stack->ownsSlot(Slot) && !Env.Regs->ownsSlot(Slot))
         CrossGenSlots.push_back(Slot);
   }
@@ -396,12 +423,10 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     ParallelEvacuator E(C, *Pool);
     {
       TimerScope T(Stats.StackTime);
-      for (Word *Slot : Roots.FreshSlotRoots)
-        E.addRoot(Slot);
-      for (unsigned R : Roots.RegRoots)
-        E.addRoot(&(*Env.Regs)[R]);
-      for (Word *Slot : Roots.ReusedSlotRoots)
-        E.addRoot(Slot);
+      E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
+      E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      E.addRootSpan(Roots.ReusedSlotRoots.data(),
+                    Roots.ReusedSlotRoots.size());
     }
     {
       TimerScope T(Stats.CopyTime);
@@ -413,12 +438,11 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     Evacuator E(C);
     {
       TimerScope T(Stats.StackTime);
-      for (Word *Slot : Roots.FreshSlotRoots)
-        E.forwardSlot(Slot);
-      for (unsigned R : Roots.RegRoots)
-        E.forwardSlot(&(*Env.Regs)[R]);
-      for (Word *Slot : Roots.ReusedSlotRoots)
-        E.forwardSlot(Slot);
+      E.forwardRootSpan(Roots.FreshSlotRoots.data(),
+                        Roots.FreshSlotRoots.size());
+      E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      E.forwardRootSpan(Roots.ReusedSlotRoots.data(),
+                        Roots.ReusedSlotRoots.size());
     }
     {
       TimerScope T(Stats.CopyTime);

@@ -75,6 +75,10 @@ public:
     /// §7.1 dynamic marker placement: adapt the period to the observed
     /// fresh-frame count per collection.
     bool AdaptiveMarkerPlacement = false;
+    /// Scan stack frames through compiled ScanPlans (pointer bitmasks)
+    /// instead of interpreting trace tables slot by slot. Same roots; false
+    /// restores the paper's interpretive scan for comparison.
+    bool CompiledScanPlans = true;
     /// Write barrier flavor.
     BarrierKind Barrier = BarrierKind::SequentialStoreBuffer;
     /// 1 = promote-all (the paper's collector); N>1 = survivors are
@@ -115,6 +119,17 @@ public:
   const StoreBuffer &storeBuffer() const { return SSB; }
   size_t nurseryCapacity() const { return NurseryFrom->capacityBytes(); }
 
+  /// Mutator fast path: non-pretenured sites bump-allocate into the
+  /// nursery; pretenured sites (and large arrays, via the size bound) take
+  /// the full allocate() path.
+  bool siteAllowsInlineAlloc(uint32_t SiteId) const override {
+    return SiteId >= PretenureFlag.size() || PretenureFlag[SiteId] == 0;
+  }
+  Space *inlineAllocSpace(size_t &MaxBytes) override {
+    MaxBytes = Opts.LargeObjectThresholdBytes;
+    return NurseryFrom;
+  }
+
 private:
   bool AgedTenuring() const { return Opts.PromoteAgeThreshold > 1; }
 
@@ -132,11 +147,6 @@ private:
   /// \p Fn(Word *Slot). Shared by the serial path (Fn forwards the slot
   /// immediately) and the parallel one (Fn queues it as a root batch).
   template <typename SlotFn> void forEachOldToYoungRoot(SlotFn Fn);
-
-  /// Enumerates every minor-collection root (stack, registers, the §5
-  /// reused-frame policy, promotion-created cross-generation slots, then
-  /// forEachOldToYoungRoot) into \p Fn, in the serial engine's order.
-  template <typename SlotFn> void forEachMinorRoot(SlotFn Fn);
 
   /// Registers a pretenured allocation for the next region scan.
   void notePretenuredRun(Word *Payload, Word Descriptor, bool NoScan);
@@ -184,6 +194,13 @@ private:
   /// generation because *promotion* created the edge (no mutator barrier
   /// saw it). Rebuilt at every minor collection; cleared by majors.
   std::vector<Word *> CrossGenSlots;
+
+  /// Capacity-reusing scratch: the heap-side minor roots (barrier output,
+  /// pretenured regions, new large objects) gathered per collection into
+  /// one contiguous span for the batched root pipeline.
+  std::vector<Word *> RootBatch;
+  /// Capacity-reusing scratch for the evacuator's CrossGenOut.
+  std::vector<Word *> MinorCrossGen;
 
   uint64_t LiveBytes = 0;
   uint64_t LOSAllocSinceGC = 0;

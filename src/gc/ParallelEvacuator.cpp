@@ -6,6 +6,7 @@
 
 #include "gc/ParallelEvacuator.h"
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -236,10 +237,27 @@ bool ParallelEvacuator::trySteal(Worker &W, unsigned Index, Span &Out) {
   return false;
 }
 
+void ParallelEvacuator::forwardRootRange(Worker &W, size_t Begin,
+                                         size_t End) {
+  if (Begin >= End)
+    return;
+  // Locate the span containing Begin, then walk spans forwarding each
+  // overlapping slice.
+  size_t SI = static_cast<size_t>(
+      std::upper_bound(SpanOffsets.begin(), SpanOffsets.end(), Begin) -
+      SpanOffsets.begin() - 1);
+  for (; SI < RootSpans.size() && SpanOffsets[SI] < End; ++SI) {
+    size_t Lo = std::max(Begin, SpanOffsets[SI]) - SpanOffsets[SI];
+    size_t Hi = std::min(End, SpanOffsets[SI + 1]) - SpanOffsets[SI];
+    Word *const *Slots = RootSpans[SI].Slots;
+    for (size_t I = Lo; I < Hi; ++I)
+      forwardSlot(W, Slots[I]);
+  }
+}
+
 void ParallelEvacuator::workerMain(unsigned Index) {
   Worker &W = *Workers[Index];
-  for (size_t I = W.RootBegin; I < W.RootEnd; ++I)
-    forwardSlot(W, Roots[I]);
+  forwardRootRange(W, W.RootBegin, W.RootEnd);
   for (;;) {
     if (scanStep(W))
       continue;
@@ -263,7 +281,16 @@ void ParallelEvacuator::workerMain(unsigned Index) {
 
 void ParallelEvacuator::run() {
   unsigned N = static_cast<unsigned>(Workers.size());
-  size_t NumRoots = Roots.size();
+  // addRoot singles form one final span after the explicit spans, so the
+  // concatenation order — and therefore the worker partition — matches the
+  // order the roots were handed in.
+  if (!Roots.empty())
+    RootSpans.push_back(RootSpan{Roots.data(), Roots.size()});
+  SpanOffsets.resize(RootSpans.size() + 1);
+  SpanOffsets[0] = 0;
+  for (size_t I = 0; I < RootSpans.size(); ++I)
+    SpanOffsets[I + 1] = SpanOffsets[I] + RootSpans[I].Count;
+  size_t NumRoots = SpanOffsets.back();
   for (unsigned I = 0; I < N; ++I) {
     Workers[I]->RootBegin = NumRoots * I / N;
     Workers[I]->RootEnd = NumRoots * (I + 1) / N;

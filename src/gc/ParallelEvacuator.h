@@ -83,6 +83,19 @@ public:
   /// tolerated (slot words are accessed atomically during the pass).
   void addRoot(Word *Slot) { Roots.push_back(Slot); }
 
+  /// Queues a contiguous span of root slots — the batched pipeline: the
+  /// collectors hand whole root vectors instead of per-slot addRoot calls,
+  /// and run() partitions the concatenated spans across workers without
+  /// ever copying the slots. The backing array must stay alive and
+  /// unmodified until run() returns. Spans are consumed in hand-in order,
+  /// followed by any addRoot singles, so a collector that queues its spans
+  /// in the serial engine's order gets the identical worker partition the
+  /// flat root vector used to produce.
+  void addRootSpan(Word *const *Slots, size_t Count) {
+    if (Count)
+      RootSpans.push_back(RootSpan{Slots, Count});
+  }
+
   /// Runs the parallel pass to completion: forwards all queued roots,
   /// drains the transitive closure, retires worker blocks (pad or return
   /// tails), and merges per-worker stats, profiler scratches and cross-gen
@@ -106,6 +119,12 @@ private:
   struct Span {
     Word *Begin;
     Word *End;
+  };
+
+  /// A caller-owned span of root slots (addRootSpan).
+  struct RootSpan {
+    Word *const *Slots;
+    size_t Count;
   };
 
   /// Private bump allocator over blocks granted by a destination space.
@@ -132,6 +151,7 @@ private:
   };
 
   void workerMain(unsigned Index);
+  void forwardRootRange(Worker &W, size_t Begin, size_t End);
   void forwardSlot(Worker &W, Word *Slot);
   Word *copy(Worker &W, Word *P);
   Word *localAllocate(Worker &W, LocalAlloc &LA, Word Descriptor, Word Meta,
@@ -157,6 +177,10 @@ private:
   const Word *FromHi[3];
   unsigned NumFrom = 0;
   std::vector<Word *> Roots;
+  std::vector<RootSpan> RootSpans;
+  /// Prefix sums over RootSpans (run() builds it): global root index I
+  /// lives in span SI iff SpanOffsets[SI] <= I < SpanOffsets[SI + 1].
+  std::vector<size_t> SpanOffsets;
   std::vector<std::unique_ptr<Worker>> Workers;
   std::atomic<unsigned> NumActive{0};
   uint64_t TotalBytesCopied = 0;

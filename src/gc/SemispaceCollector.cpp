@@ -23,6 +23,11 @@ SemispaceCollector::SemispaceCollector(const CollectorEnv &Env,
       std::clamp<size_t>(Opts.BudgetBytes / 2, 16u << 10, 4u << 20);
   SpaceA.reserve(PerSpace);
   SpaceB.reserve(PerSpace);
+  // Root-side containers live for the collector's lifetime; reserving here
+  // means steady-state collections never grow them.
+  Roots.reserve(1024);
+  Cache.reserve(256, 1024);
+  RegRootAddrs.reserve(NumRegisters);
   if (Opts.GcThreads > 1)
     Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
 }
@@ -64,10 +69,13 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     LastScan = ScanStats();
     bool UseMarkers = Opts.UseStackMarkers;
     StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
-                       UseMarkers ? &Cache : nullptr, Roots, LastScan);
+                       UseMarkers ? &Cache : nullptr, Roots, LastScan,
+                       Opts.CompiledScanPlans);
     Stats.FramesScanned += LastScan.FramesScanned;
     Stats.FramesReused += LastScan.FramesReused;
     Stats.SlotsVisited += LastScan.SlotsVisited;
+    Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
+    gatherRegRoots();
   }
 
   // Make sure the to-space can absorb the worst case (everything live)
@@ -92,25 +100,23 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     C.Dest = Inactive;
     C.Profiler = Env.Profiler;
     C.CountSurvivedFirst = true;
+    // Batched root pipeline: whole spans, in the serial engine's order.
     if (Pool) {
       ParallelEvacuator E(C, *Pool);
-      for (Word *Slot : Roots.FreshSlotRoots)
-        E.addRoot(Slot);
-      for (Word *Slot : Roots.ReusedSlotRoots)
-        E.addRoot(Slot);
-      for (unsigned R : Roots.RegRoots)
-        E.addRoot(&(*Env.Regs)[R]);
+      E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
+      E.addRootSpan(Roots.ReusedSlotRoots.data(),
+                    Roots.ReusedSlotRoots.size());
+      E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
       E.run();
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();
     } else {
       Evacuator E(C);
-      for (Word *Slot : Roots.FreshSlotRoots)
-        E.forwardSlot(Slot);
-      for (Word *Slot : Roots.ReusedSlotRoots)
-        E.forwardSlot(Slot);
-      for (unsigned R : Roots.RegRoots)
-        E.forwardSlot(&(*Env.Regs)[R]);
+      E.forwardRootSpan(Roots.FreshSlotRoots.data(),
+                        Roots.FreshSlotRoots.size());
+      E.forwardRootSpan(Roots.ReusedSlotRoots.data(),
+                        Roots.ReusedSlotRoots.size());
+      E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
       E.drain();
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();

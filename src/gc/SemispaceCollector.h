@@ -41,6 +41,10 @@ public:
     bool UseStackMarkers = false;
     unsigned MarkerPeriod = 25;
     bool AdaptiveMarkerPlacement = false;
+    /// Scan stack frames through compiled ScanPlans (pointer bitmasks)
+    /// instead of interpreting trace tables slot by slot. Same roots; false
+    /// restores the paper's interpretive scan for comparison.
+    bool CompiledScanPlans = true;
     /// Evacuation threads. 1 = the serial engine (bit-identical paper
     /// reproduction); >1 = the work-stealing ParallelEvacuator.
     unsigned GcThreads = 1;
@@ -56,6 +60,16 @@ public:
   uint64_t liveBytesAfterLastGC() const override { return LiveBytes; }
   MarkerManager *markerManager() override {
     return Opts.UseStackMarkers ? &Markers : nullptr;
+  }
+
+  /// Mutator fast path: everything bump-allocates into the active space.
+  bool siteAllowsInlineAlloc(uint32_t SiteId) const override {
+    (void)SiteId;
+    return true;
+  }
+  Space *inlineAllocSpace(size_t &MaxBytes) override {
+    MaxBytes = ~size_t{0}; // No large-object space: no size bound.
+    return Active;
   }
 
 private:

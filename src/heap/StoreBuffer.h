@@ -35,8 +35,14 @@ public:
 
   const std::vector<Word *> &entries() const { return Entries; }
 
-  /// Discards the logged entries (called after each collection).
+  /// Discards the logged entries (called after each collection). Keeps the
+  /// capacity: the buffer refills to a similar size every mutator epoch,
+  /// and duplicate-keeping semantics (the Peg pathology) are unchanged —
+  /// only the reallocation churn goes away.
   void clear() { Entries.clear(); }
+
+  /// Pre-sizes the log (the collector calls this once at startup).
+  void reserve(size_t NumEntries) { Entries.reserve(NumEntries); }
 
   /// Number of entries currently pending.
   size_t size() const { return Entries.size(); }

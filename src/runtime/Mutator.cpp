@@ -25,6 +25,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.UseStackMarkers = Config.UseStackMarkers;
     Opts.MarkerPeriod = Config.MarkerPeriod;
     Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
+    Opts.CompiledScanPlans = Config.CompiledScanPlans;
     Opts.GcThreads = Config.GcThreads;
     GC = std::make_unique<SemispaceCollector>(Env, Opts);
     break;
@@ -38,6 +39,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.UseStackMarkers = Config.UseStackMarkers;
     Opts.MarkerPeriod = Config.MarkerPeriod;
     Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
+    Opts.CompiledScanPlans = Config.CompiledScanPlans;
     Opts.Barrier = Config.Barrier;
     Opts.PromoteAgeThreshold = Config.PromoteAgeThreshold;
     Opts.Pretenure = Config.Pretenure;

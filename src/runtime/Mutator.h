@@ -46,6 +46,7 @@
 #include "stack/RegisterFile.h"
 #include "stack/ShadowStack.h"
 
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <vector>
@@ -66,6 +67,9 @@ struct MutatorConfig {
   unsigned MarkerPeriod = 25;
   /// §7.1 dynamic marker placement (adaptive period).
   bool AdaptiveMarkerPlacement = false;
+  /// Scan stack frames through compiled ScanPlans; false restores the
+  /// paper's interpretive trace-table scan.
+  bool CompiledScanPlans = true;
   /// Pretenuring decisions (§6); generational only.
   std::vector<PretenureDecision> Pretenure;
   /// Write barrier flavor; generational only.
@@ -108,25 +112,34 @@ public:
   //===--------------------------------------------------------------------===
   // Allocation. Every entry point may collect; re-read pointers from frame
   // slots afterwards. Payloads are zeroed.
+  //
+  // Entry points go through a bump-pointer fast path: the collector
+  // designates a space (the nursery / the active semispace) and a size
+  // bound once, the mutator caches them and allocates inline until a
+  // collection invalidates the cache (stats().NumGC is the epoch). Sites
+  // the collector routes elsewhere (pretenured) and objects over the bound
+  // (large arrays) fall through to the collector's full allocate(), as
+  // does any bump failure — so the slow path's semantics are preserved
+  // exactly; the fast path only skips the virtual dispatch and the
+  // per-call placement re-derivation.
   //===--------------------------------------------------------------------===
 
   /// A record of \p NumFields fields; bit i of \p PtrMask marks field i as
   /// a pointer.
   Value allocRecord(uint32_t Site, uint32_t NumFields, uint32_t PtrMask) {
     return Value::fromPtr(
-        GC->allocate(ObjectKind::Record, NumFields, PtrMask, Site));
+        allocImpl(ObjectKind::Record, NumFields, PtrMask, Site));
   }
 
   /// An array of \p NumElems pointers (initially null).
   Value allocPtrArray(uint32_t Site, uint32_t NumElems) {
-    return Value::fromPtr(
-        GC->allocate(ObjectKind::PtrArray, NumElems, 0, Site));
+    return Value::fromPtr(allocImpl(ObjectKind::PtrArray, NumElems, 0, Site));
   }
 
   /// An array of \p NumWords raw words (unboxed ints / doubles / bytes).
   Value allocNonPtrArray(uint32_t Site, uint32_t NumWords) {
     return Value::fromPtr(
-        GC->allocate(ObjectKind::NonPtrArray, NumWords, 0, Site));
+        allocImpl(ObjectKind::NonPtrArray, NumWords, 0, Site));
   }
 
   /// A runtime type descriptor for Compute traces: a one-field record whose
@@ -253,6 +266,41 @@ private:
     uint64_t Id;
   };
 
+  /// The allocation fast path (see the allocation section comment).
+  Word *allocImpl(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
+                  uint32_t Site) {
+    Word Descriptor = header::make(Kind, LenWords, PtrMask);
+    if (TILGC_LIKELY(siteAllowsFast(Site))) {
+      if (TILGC_UNLIKELY(GC->stats().NumGC != FastEpoch)) {
+        FastSpace = GC->inlineAllocSpace(FastMaxBytes);
+        FastEpoch = GC->stats().NumGC;
+      }
+      if (TILGC_LIKELY(FastSpace &&
+                       objectTotalBytes(Descriptor) < FastMaxBytes)) {
+        Word *Payload = FastSpace->allocate(Descriptor, GC->objectMeta(Site));
+        if (TILGC_LIKELY(Payload != nullptr)) {
+          GC->noteAllocated(Kind, Descriptor, Site);
+          std::memset(Payload, 0,
+                      static_cast<size_t>(LenWords) * sizeof(Word));
+          return Payload;
+        }
+      }
+    }
+    return GC->allocate(Kind, LenWords, PtrMask, Site);
+  }
+
+  /// Per-site fast-path admission, memoized (0 = unknown, 1 = fast,
+  /// 2 = slow). The collector's answer is fixed for its lifetime —
+  /// pretenure decisions are construction-time options.
+  bool siteAllowsFast(uint32_t Site) {
+    if (TILGC_UNLIKELY(Site >= SiteFastFlag.size()))
+      SiteFastFlag.resize(Site + 1, 0);
+    uint8_t &F = SiteFastFlag[Site];
+    if (TILGC_UNLIKELY(F == 0))
+      F = GC->siteAllowsInlineAlloc(Site) ? 1 : 2;
+    return F == 1;
+  }
+
   MutatorConfig Config;
   ShadowStack Stack;
   RegisterFile Regs;
@@ -262,6 +310,13 @@ private:
   uint64_t NextHandlerId = 0;
   uint64_t NumPointerUpdates = 0;
   uint64_t NumRaises = 0;
+
+  /// Allocation fast-path cache (invalidated by epoch: every collection
+  /// bumps stats().NumGC, and spaces only change at collections).
+  Space *FastSpace = nullptr;
+  size_t FastMaxBytes = 0;
+  uint64_t FastEpoch = ~uint64_t{0};
+  std::vector<uint8_t> SiteFastFlag;
 };
 
 /// RAII activation record. See the file comment for the discipline.

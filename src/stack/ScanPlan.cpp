@@ -1,0 +1,82 @@
+//===- stack/ScanPlan.cpp - Compiled stack-scan plans ---------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/ScanPlan.h"
+
+using namespace tilgc;
+
+ScanPlan ScanPlan::compile(const FrameLayout &Layout) {
+  ScanPlan P;
+  P.NumSlots = Layout.numSlots();
+  if (P.NumSlots > 1)
+    P.PtrWords.assign((P.NumSlots + 63) / 64, 0);
+
+  // Slot traces. Slot 0 is the key; layout entry i describes slot i + 1.
+  for (uint32_t S = 1; S < P.NumSlots; ++S) {
+    const Trace &T = Layout.SlotTraces[S - 1];
+    switch (T.Kind) {
+    case TraceKind::NonPointer:
+      break;
+    case TraceKind::Pointer:
+      P.PtrWords[S / 64] |= uint64_t{1} << (S % 64);
+      break;
+    case TraceKind::CalleeSave:
+      P.CalleeSaves.push_back(
+          CalleeSaveEntry{static_cast<uint16_t>(S), T.Index});
+      break;
+    case TraceKind::Compute:
+      P.Computes.push_back(ComputeEntry{static_cast<uint16_t>(S), T});
+      break;
+    }
+  }
+
+  // Register transition. The interpreter applies RegDefs sequentially
+  // (last writer wins) and bumps ComputesResolved once per Compute
+  // definition; the masks reproduce that only when each register is
+  // defined at most once, so detect duplicates and fall back otherwise.
+  uint32_t Defined = 0;
+  for (const RegAction &A : Layout.RegDefs) {
+    uint32_t Bit = 1u << A.Reg;
+    if (Defined & Bit) {
+      P.RegDefsNeedInterp = true;
+      P.RegSetMask = P.RegClearMask = 0;
+      P.ComputeRegDefs.clear();
+      P.InterpRegDefs = Layout.RegDefs;
+      return P;
+    }
+    Defined |= Bit;
+    switch (A.What.Kind) {
+    case TraceKind::Pointer:
+      P.RegSetMask |= Bit;
+      break;
+    case TraceKind::NonPointer:
+      P.RegClearMask |= Bit;
+      break;
+    case TraceKind::Compute:
+      P.ComputeRegDefs.push_back(A);
+      break;
+    case TraceKind::CalleeSave:
+      TILGC_UNREACHABLE("CalleeSave is not a register definition");
+    }
+  }
+  return P;
+}
+
+ScanPlanCache &ScanPlanCache::global() {
+  static ScanPlanCache Cache;
+  return Cache;
+}
+
+const ScanPlan &ScanPlanCache::compileAndInsert(uint32_t Key) {
+  // The checked lookup aborts on a key the registry has never issued, so a
+  // corrupted return-address slot cannot index out of bounds here either.
+  const FrameLayout &L = TraceTableRegistry::global().lookup(Key);
+  if (Key >= Plans.size())
+    Plans.resize(Key + 1);
+  Plans[Key] = std::make_unique<const ScanPlan>(ScanPlan::compile(L));
+  ++NumCompiled;
+  return *Plans[Key];
+}

@@ -6,7 +6,21 @@
 
 #include "stack/TraceTable.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace tilgc;
+
+void TraceTableRegistry::fatalBadKey(uint32_t Key, size_t NumKeys) {
+  std::fprintf(stderr,
+               "tilgc: fatal: return-address key %u (0x%x) is not a "
+               "registered trace table (%zu keys defined)%s\n",
+               Key, Key, NumKeys,
+               Key == StubKey ? "; a stack-marker stub key leaked into a "
+                                "frame decode"
+                              : "");
+  std::abort();
+}
 
 TraceTableRegistry &TraceTableRegistry::global() {
   static TraceTableRegistry Registry;

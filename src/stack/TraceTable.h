@@ -28,6 +28,7 @@
 #define TILGC_STACK_TRACETABLE_H
 
 #include "object/Object.h"
+#include "support/Compiler.h"
 
 #include <cassert>
 #include <cstdint>
@@ -116,14 +117,22 @@ public:
   /// Registers \p Layout and returns its key. Keys are never reused.
   uint32_t define(FrameLayout Layout);
 
+  /// Checked lookup: a key the registry never issued aborts loudly in every
+  /// build mode. A frame's key slot is mutator-writable memory — if it is
+  /// corrupted (or a stub key leaks past marker retirement), an
+  /// assert-only check would let release builds index out of bounds and
+  /// read wild memory as a FrameLayout.
   const FrameLayout &lookup(uint32_t Key) const {
-    assert(Key < Layouts.size() && "unknown return-address key");
+    if (TILGC_UNLIKELY(Key >= Layouts.size()))
+      fatalBadKey(Key, Layouts.size());
     return Layouts[Key];
   }
 
   size_t size() const { return Layouts.size(); }
 
 private:
+  [[noreturn]] static void fatalBadKey(uint32_t Key, size_t NumKeys);
+
   TraceTableRegistry();
   std::vector<FrameLayout> Layouts;
 };
