@@ -6,7 +6,71 @@
 
 #include "gc/Collector.h"
 
+#include "gc/HeapError.h"
+#include "profile/AllocSite.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
 using namespace tilgc;
 
 // Out-of-line virtual anchor.
 Collector::~Collector() = default;
+
+std::string Collector::heapStateDump() const {
+  std::string Out;
+  Out += "=== tilgc heap state ===\n";
+  Out += formatString(
+      "collections: %llu (%llu major) | allocated %llu bytes in %llu objects "
+      "| budget overruns %llu\n",
+      (unsigned long long)Stats.NumGC, (unsigned long long)Stats.NumMajorGC,
+      (unsigned long long)Stats.BytesAllocated,
+      (unsigned long long)Stats.ObjectsAllocated,
+      (unsigned long long)Stats.BudgetOverruns);
+  appendHeapState(Out);
+
+  // Per-site live bytes, from object metadata — available even without the
+  // profiler enabled.
+  struct SiteLive {
+    uint32_t Site;
+    uint64_t Bytes;
+    uint64_t Objects;
+  };
+  std::unordered_map<uint32_t, SiteLive> BySite;
+  forEachLiveObject([&](Word *Payload, Word Descriptor) {
+    uint32_t Site = meta::site(metaOf(Payload));
+    SiteLive &S = BySite.try_emplace(Site, SiteLive{Site, 0, 0}).first->second;
+    S.Bytes += objectTotalBytes(Descriptor);
+    S.Objects += 1;
+  });
+  std::vector<SiteLive> Sites;
+  Sites.reserve(BySite.size());
+  for (const auto &KV : BySite)
+    Sites.push_back(KV.second);
+  std::sort(Sites.begin(), Sites.end(),
+            [](const SiteLive &A, const SiteLive &B) {
+              return A.Bytes != B.Bytes ? A.Bytes > B.Bytes : A.Site < B.Site;
+            });
+  Out += "top live allocation sites:\n";
+  size_t Shown = 0;
+  for (const SiteLive &S : Sites) {
+    if (Shown++ == 8) {
+      Out += formatString("  ... and %zu more sites\n", Sites.size() - 8);
+      break;
+    }
+    Out += formatString(
+        "  %-28s %10llu bytes in %llu objects\n",
+        AllocSiteRegistry::global().nameOrUnknown(S.Site).c_str(),
+        (unsigned long long)S.Bytes, (unsigned long long)S.Objects);
+  }
+  if (Sites.empty())
+    Out += "  (no live objects)\n";
+  return Out;
+}
+
+void Collector::throwHeapExhausted(uint64_t RequestedBytes) {
+  ++Stats.HeapExhaustedThrows;
+  throw HeapExhausted(RequestedBytes, heapStateDump());
+}

@@ -23,6 +23,8 @@
 #include "stack/StackScanner.h"
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 namespace tilgc {
 
@@ -66,6 +68,18 @@ public:
   /// The stack-marker manager, if generational stack collection is enabled.
   virtual MarkerManager *markerManager() { return nullptr; }
 
+  /// Runs a full heap audit now (outside any collection): object headers,
+  /// pointer validity, no stale forwarding pointers, no leaked from-space
+  /// poison. Returns true if the heap is sound; otherwise fills \p Error.
+  /// Usable after catching HeapExhausted to confirm the failed request left
+  /// the heap intact.
+  virtual bool verifyHeapNow(std::string &Error) const = 0;
+
+  /// Multi-line heap-state description: per-space occupancy, GC counts, and
+  /// the top live allocation sites. Attached to HeapExhausted and printed
+  /// by terminal failures.
+  std::string heapStateDump() const;
+
   GcStats &stats() { return Stats; }
   const GcStats &stats() const { return Stats; }
 
@@ -108,6 +122,20 @@ public:
   }
 
 protected:
+  /// Terminal rung of the OOM escalation ladder: records the failure and
+  /// throws HeapExhausted carrying heapStateDump(). Only call between
+  /// collections (the heap must be intact for the dump walk).
+  [[noreturn]] void throwHeapExhausted(uint64_t RequestedBytes);
+
+  /// Collector-specific lines of heapStateDump (name, budget, per-space
+  /// occupancy).
+  virtual void appendHeapState(std::string &Out) const = 0;
+
+  /// Enumerates every live object (payload + live descriptor) for the
+  /// dump's per-site live-bytes histogram.
+  virtual void forEachLiveObject(
+      const std::function<void(Word *Payload, Word Descriptor)> &Fn) const = 0;
+
   /// Builds the metadata header word for a new object.
   Word makeMeta(uint32_t SiteId) const {
     return meta::make(SiteId, allocStampKB());

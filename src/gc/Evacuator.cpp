@@ -6,6 +6,8 @@
 
 #include "gc/Evacuator.h"
 
+#include "support/Fatal.h"
+
 #include <cstdio>
 #include <cstring>
 
@@ -42,14 +44,20 @@ Word *Evacuator::copy(Word *P) {
     Target = C.DestYoung;
 
   Word *NewPayload = Target->allocate(Descriptor, NewMeta);
-#ifndef NDEBUG
-  if (!NewPayload)
-    std::fprintf(stderr,
-                 "evacuation overflow: target=%s used=%zu cap=%zu need=%u\n",
-                 Target == C.Dest ? "dest" : "destYoung", Target->usedBytes(),
-                 Target->capacityBytes(), objectTotalWords(Descriptor) * 8);
-#endif
-  assert(NewPayload && "destination space overflowed during evacuation");
+  if (TILGC_UNLIKELY(!NewPayload) && Target != C.Dest) {
+    // The young destination ran dry: promote early rather than dying. The
+    // parallel engine applies the same young->old fallback.
+    Target = C.Dest;
+    NewPayload = Target->allocate(Descriptor, NewMeta);
+  }
+  if (TILGC_UNLIKELY(!NewPayload))
+    // Always-on terminal failure: the heap is half-evacuated, so this is
+    // not recoverable the way an allocation-time OOM is.
+    fatalError("destination space overflowed during evacuation (target=%s "
+               "used=%zu cap=%zu, need %u bytes); collection cannot "
+               "complete",
+               Target == C.Dest ? "dest" : "destYoung", Target->usedBytes(),
+               Target->capacityBytes(), objectTotalWords(Descriptor) * 8);
   uint32_t Len = header::length(Descriptor);
   std::memcpy(NewPayload, P, static_cast<size_t>(Len) * sizeof(Word));
   descriptorOf(P) = header::makeForward(NewPayload);

@@ -60,6 +60,11 @@ struct GcStats {
   /// Times the collector exceeded its k*Min budget and grew anyway.
   uint64_t BudgetOverruns = 0;
 
+  // OOM-protocol and fault-resilience accounting.
+  uint64_t HeapExhaustedThrows = 0; ///< Terminal ladder failures surfaced.
+  uint64_t EvacWorkerFaults = 0;    ///< Parallel-evacuation workers faulted.
+  uint64_t EvacSerialRecoveries = 0; ///< Evacuations finished by serial drain.
+
   // Time split. StackTime and CopyTime accumulate inside GcTime regions;
   // the remainder of GcTime is bookkeeping (resizing, sweeping).
   Timer GcTime;

@@ -9,12 +9,15 @@
 #include "gc/Evacuator.h"
 #include "gc/HeapVerifier.h"
 #include "gc/ParallelEvacuator.h"
+#include "support/Fatal.h"
+#include "support/Table.h"
 #include "support/WorkerPool.h"
 
 #include <cstdio>
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 using namespace tilgc;
 
@@ -76,10 +79,24 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
   // *before* allocating: a collection after the fact would reclaim the
   // still-unreachable newborn.
   if (Kind != ObjectKind::Record && Total >= Opts.LargeObjectThresholdBytes) {
+    bool Collected = false;
     if (footprintBytes() + Total > Opts.BudgetBytes &&
         LOSAllocSinceGC + Total >= Opts.BudgetBytes / 8) {
       TimerScope Gc(Stats.GcTime);
       doMajor(0);
+      Collected = true;
+    }
+    // LOS backing storage comes straight from the host, so the hard cap is
+    // enforced here rather than by a failing space. One major collection
+    // may free dead large objects before the ladder gives up.
+    if (TILGC_UNLIKELY(Opts.HardLimitBytes &&
+                       footprintBytes() + Total > Opts.HardLimitBytes)) {
+      if (!Collected) {
+        TimerScope Gc(Stats.GcTime);
+        doMajor(0);
+      }
+      if (footprintBytes() + Total > Opts.HardLimitBytes)
+        throwHeapExhausted(Total);
     }
     Word *Payload = LOS.allocate(Descriptor, makeMeta(SiteId));
     NewLargeObjects.push_back(Payload);
@@ -98,7 +115,8 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
         doMajor(Total);
       }
       Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
-      assert(Payload && "tenured generation full after major collection");
+      if (TILGC_UNLIKELY(!Payload))
+        throwHeapExhausted(Total);
     }
     notePretenuredRun(Payload, Descriptor, PretenureFlag[SiteId] == 2);
     Stats.PretenuredBytes += Total;
@@ -107,7 +125,10 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     return Payload;
   }
 
-  // Everything else: the nursery.
+  // Everything else: the nursery, behind the OOM escalation ladder —
+  // retry after a minor, retry after a major (which reserves tenured room
+  // and may grow under the hard cap), then a tenured-fallback last resort,
+  // then a catchable HeapExhausted. Active in every build mode.
   Word *Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
   if (TILGC_UNLIKELY(!Payload)) {
     {
@@ -117,14 +138,23 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
     if (TILGC_UNLIKELY(!Payload)) {
       // Aged tenuring can leave the nursery nearly full of young
-      // survivors; a major collection promotes them all.
-      assert(AgedTenuring() && "nursery still full after a minor GC");
+      // survivors; a major collection promotes them all. doMajor(Total)
+      // also reserves tenured room for the object in case it never fits
+      // the nursery at all.
       {
         TimerScope Gc(Stats.GcTime);
-        doMajor(0);
+        doMajor(Total);
       }
       Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
-      assert(Payload && "object exceeds nursery capacity");
+      if (TILGC_UNLIKELY(!Payload)) {
+        // The object exceeds even an empty nursery: fall back to the
+        // tenured generation, registered like a pretenured run so its
+        // initializing stores are scanned at the next minor collection.
+        Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
+        if (TILGC_UNLIKELY(!Payload))
+          throwHeapExhausted(Total);
+        notePretenuredRun(Payload, Descriptor, /*NoScan=*/false);
+      }
     }
   }
   accountAllocation(Kind, Descriptor, SiteId);
@@ -248,6 +278,10 @@ void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
 }
 
 void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
+  FaultInjector::ScopedGcPhase GcPhase;
+  if (TILGC_UNLIKELY(effectiveVerifyLevel() >= 2))
+    auditRememberedSets();
+
   // The tenured generation must be able to absorb every survivor — plus,
   // in parallel mode, the block-tail padding the handout can waste.
   size_t MinorNeed = NurseryFrom->usedBytes() + NeedTenuredBytes;
@@ -324,6 +358,9 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.EvacWorkerFaults += E.workerFaults();
+    if (E.workerFaults())
+      ++Stats.EvacSerialRecoveries;
   } else {
     Evacuator E(C);
     {
@@ -356,6 +393,8 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
 
   sweepDeaths(*NurseryFrom);
   NurseryFrom->reset();
+  if (TILGC_UNLIKELY(shouldPoison()))
+    NurseryFrom->poisonFreeSpace();
   if (AgedTenuring())
     std::swap(NurseryFrom, NurseryTo);
 
@@ -378,34 +417,115 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     doMajor(0);
 }
 
-void GenerationalCollector::maybeVerifyHeap(const char *Phase) const {
-  if (TILGC_LIKELY(!Opts.VerifyHeapAfterGC))
-    return;
+bool GenerationalCollector::shouldPoison() const {
+  if (effectiveVerifyLevel() >= 3)
+    return true;
+  return TILGC_UNLIKELY(FaultInjector::enabled()) &&
+         FaultInjector::global().shouldFire(FaultPoint::FromSpacePoison);
+}
+
+bool GenerationalCollector::runVerifier(std::string &Error) const {
   HeapVerifier V;
   V.addSpace(TenuredFrom, "tenured");
   V.addSpace(NurseryFrom, "nursery");
   if (AgedTenuring())
     V.addSpace(NurseryTo, "nursery-to");
   V.setLOS(&LOS);
+  V.setPoisonPattern(Space::PoisonPattern);
+  return V.verifyHeap(Error);
+}
+
+void GenerationalCollector::maybeVerifyHeap(const char *Phase) const {
+  if (TILGC_LIKELY(effectiveVerifyLevel() < 1))
+    return;
   std::string Error;
-  if (!V.verifyHeap(Error)) {
-    std::fprintf(stderr, "heap verification failed after %s GC #%llu: %s\n",
-                 Phase, (unsigned long long)Stats.NumGC, Error.c_str());
-    std::abort();
-  }
+  if (!runVerifier(Error))
+    fatalError("heap verification failed after %s GC #%llu: %s", Phase,
+               (unsigned long long)Stats.NumGC, Error.c_str());
+}
+
+void GenerationalCollector::auditRememberedSets() {
+  // The covered set: exactly the slots the upcoming minor collection will
+  // process as heap-side roots (barrier output, scanned pretenured runs,
+  // new large objects) plus the promotion-created cross-generation slots.
+  // forEachOldToYoungRoot is reused so the audit can never drift from the
+  // collector; the stat counters it bumps are restored (the audit is an
+  // observer, not a collection).
+  std::unordered_set<const Word *> Covered;
+  uint64_t SavedSSB = Stats.SSBEntriesProcessed;
+  uint64_t SavedScanned = Stats.PretenuredScannedBytes;
+  uint64_t SavedSkipped = Stats.PretenuredScanSkippedBytes;
+  forEachOldToYoungRoot([&](Word *Slot) { Covered.insert(Slot); });
+  Stats.SSBEntriesProcessed = SavedSSB;
+  Stats.PretenuredScannedBytes = SavedScanned;
+  Stats.PretenuredScanSkippedBytes = SavedSkipped;
+  for (Word *Slot : CrossGenSlots)
+    Covered.insert(Slot);
+
+  auto CheckFields = [&](Word *Payload, const char *Where) {
+    forEachPointerField(Payload, [&](Word *Field) {
+      Word Bits = *Field;
+      if (!Bits)
+        return;
+      if (!inNursery(reinterpret_cast<const Word *>(Bits)))
+        return;
+      if (Covered.count(Field))
+        return;
+      fatalError("remembered-set audit failed before minor GC #%llu: %s "
+                 "slot %p holds young pointer %llx not covered by the "
+                 "write barrier, the cross-generation set, or a scanned "
+                 "pretenured run",
+                 (unsigned long long)(Stats.NumGC + 1), Where, (void *)Field,
+                 (unsigned long long)Bits);
+    });
+  };
+  TenuredFrom->walk([&](Word *Payload, Word, bool Forwarded) {
+    assert(!Forwarded && "forwarded object between collections");
+    (void)Forwarded;
+    CheckFields(Payload, "tenured");
+  });
+  LOS.walk([&](Word *Payload, Word) { CheckFields(Payload, "LOS"); });
 }
 
 void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
-  ++Stats.NumGC;
-  ++Stats.NumMajorGC;
-  accountStackAtGC();
-  scanStackForRoots();
+  FaultInjector::ScopedGcPhase GcPhase;
+
+  // TenuredTo has sat idle since the last major; if it was left poisoned,
+  // any clobbered word is a wild write through a stale pointer.
+  if (TILGC_UNLIKELY(TenuredToPoisonValid)) {
+    if (const Word *Bad = TenuredTo->findPoisonViolation())
+      fatalError("from-space poison clobbered at %p before major GC #%llu "
+                 "(holds %llx): wild write through a stale pointer",
+                 (const void *)Bad, (unsigned long long)(Stats.NumGC + 1),
+                 (unsigned long long)*Bad);
+    TenuredToPoisonValid = false;
+  }
 
   size_t Incoming = TenuredFrom->usedBytes() + NurseryFrom->usedBytes() +
                     (AgedTenuring() ? NurseryTo->usedBytes() : 0);
   size_t Reserve = Incoming + NeedTenuredBytes;
   if (Pool)
     Reserve += ParallelEvacuator::reserveSlackBytes(Incoming, Opts.GcThreads);
+
+  // Hard-cap pre-flight, BEFORE any object moves: if the peak footprint of
+  // this collection (to-space grown to the worst case if it needs growing)
+  // exceeds the cap, refuse catchably while the heap is still intact and
+  // verifiable. Unconditional when a cap is set — the post-major resize's
+  // MinSize floor may legally pre-provision a to-space the cap cannot
+  // absorb, and this check is where that breach becomes a throw instead of
+  // unbounded ratcheting growth.
+  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+    size_t ToCap = std::max(TenuredTo->capacityBytes(), Reserve);
+    size_t Peak = footprintBytes() - TenuredTo->capacityBytes() + ToCap;
+    if (Peak > Opts.HardLimitBytes)
+      throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Reserve);
+  }
+
+  ++Stats.NumGC;
+  ++Stats.NumMajorGC;
+  accountStackAtGC();
+  scanStackForRoots();
+
   if (TenuredTo->capacityBytes() < Reserve)
     TenuredTo->reserve(Reserve);
 
@@ -434,6 +554,9 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.EvacWorkerFaults += E.workerFaults();
+    if (E.workerFaults())
+      ++Stats.EvacSerialRecoveries;
   } else {
     Evacuator E(C);
     {
@@ -495,10 +618,66 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
   else
     ++Stats.BudgetOverruns;
   Desired = std::clamp(Desired, MinSize, MaxSize);
+  // Under a hard cap, never reserve a to-space the cap could not absorb at
+  // the next major — but never below MinSize either (this allocation
+  // already succeeded; if MinSize itself breaches the cap, the next
+  // major's pre-flight throws before moving anything).
+  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+    size_t Standing = NonTenured + TenuredFrom->capacityBytes();
+    size_t Room =
+        Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
+    Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
+  }
   TenuredTo->reserve(Desired);
+
+  if (TILGC_UNLIKELY(shouldPoison())) {
+    NurseryFrom->poisonFreeSpace();
+    if (AgedTenuring())
+      NurseryTo->poisonFreeSpace();
+    TenuredTo->poisonFreeSpace();
+    TenuredToPoisonValid = true;
+  }
 
   if (Opts.Barrier == BarrierKind::CardMarking)
     Cards.attach(*TenuredFrom);
   LOSAllocSinceGC = 0;
   maybeVerifyHeap("major");
+}
+
+void GenerationalCollector::appendHeapState(std::string &Out) const {
+  Out += formatString("generational collector '%s': budget %zu bytes, ",
+                      Opts.Name.empty() ? "<unnamed>" : Opts.Name.c_str(),
+                      Opts.BudgetBytes);
+  Out += Opts.HardLimitBytes
+             ? formatString("hard limit %zu bytes\n", Opts.HardLimitBytes)
+             : std::string("no hard limit\n");
+  auto Line = [&](const char *Name, const Space &S) {
+    Out += formatString("  %-12s %10zu / %10zu bytes used\n", Name,
+                        S.usedBytes(), S.capacityBytes());
+  };
+  Line("nursery", *NurseryFrom);
+  if (AgedTenuring())
+    Line("nursery-to", *NurseryTo);
+  Line("tenured", *TenuredFrom);
+  Line("tenured-to", *TenuredTo);
+  Out += formatString("  %-12s %10zu live bytes in %zu objects\n", "LOS",
+                      LOS.liveBytes(), LOS.objectCount());
+  Out += formatString("  pending: %zu SSB entries, %zu pretenured runs, %zu "
+                      "new large objects\n",
+                      SSB.size(), Runs.size(), NewLargeObjects.size());
+}
+
+void GenerationalCollector::forEachLiveObject(
+    const std::function<void(Word *, Word)> &Fn) const {
+  auto WalkSpace = [&](const Space &S) {
+    S.walk([&](Word *Payload, Word Descriptor, bool Forwarded) {
+      if (!Forwarded)
+        Fn(Payload, Descriptor);
+    });
+  };
+  WalkSpace(*NurseryFrom);
+  if (AgedTenuring())
+    WalkSpace(*NurseryTo);
+  WalkSpace(*TenuredFrom);
+  LOS.walk([&](Word *Payload, Word Descriptor) { Fn(Payload, Descriptor); });
 }

@@ -61,6 +61,11 @@ public:
   struct Options {
     /// Total memory budget: the paper's k*Min.
     size_t BudgetBytes = 64u << 20;
+    /// Hard cap on total heap footprint. 0 = unlimited (the paper's
+    /// behavior: the k*Min budget is soft, overruns are counted but never
+    /// fatal). When set, the OOM escalation ladder throws a catchable
+    /// HeapExhausted instead of growing past it.
+    size_t HardLimitBytes = 0;
     /// Nursery bound (paper: the 512K secondary cache; "for benchmarking
     /// reasons the nursery is sometimes made significantly smaller" — the
     /// budget clamps it further).
@@ -90,7 +95,22 @@ public:
     /// stack root points outside the nursery. Costs O(reused roots).
     bool VerifyReuseInvariant = false;
     /// Debug: walk and validate the whole heap after every collection.
+    /// Legacy toggle, folded into the effective VerifyLevel as level >= 1.
     bool VerifyHeapAfterGC = false;
+    /// Leveled heap invariant auditing (active in every build mode):
+    ///   0 = off;
+    ///   1 = post-GC heap walk (headers, pointer validity, no stale
+    ///       forwarding pointers);
+    ///   2 = + pre-minor remembered-set completeness audit (every
+    ///       tenured/LOS slot holding a young pointer must be covered by
+    ///       the barrier output, the cross-generation set, or a scanned
+    ///       pretenured run — §7.2 NoScan runs deliberately excluded);
+    ///   3 = + from-space poisoning after evacuation with poison-integrity
+    ///       and poison-leak checks.
+    /// Levels >= 2 cost O(live tenured data) per minor collection.
+    unsigned VerifyLevel = 0;
+    /// Name for diagnostics (heap dumps, fatal errors).
+    std::string Name;
     /// Evacuation threads. 1 = the serial engine (bit-identical paper
     /// reproduction); >1 = the work-stealing ParallelEvacuator.
     unsigned GcThreads = 1;
@@ -106,6 +126,9 @@ public:
   uint64_t liveBytesAfterLastGC() const override { return LiveBytes; }
   MarkerManager *markerManager() override {
     return Opts.UseStackMarkers ? &Markers : nullptr;
+  }
+  bool verifyHeapNow(std::string &Error) const override {
+    return runVerifier(Error);
   }
 
   /// Introspection for tests.
@@ -154,8 +177,32 @@ private:
   /// nursery + both tenured spaces + LOS footprint.
   size_t footprintBytes() const;
 
-  /// Optional post-collection heap validation (VerifyHeapAfterGC).
+  /// VerifyLevel with the legacy VerifyHeapAfterGC toggle folded in.
+  unsigned effectiveVerifyLevel() const {
+    return Opts.VerifyLevel > (Opts.VerifyHeapAfterGC ? 1u : 0u)
+               ? Opts.VerifyLevel
+               : (Opts.VerifyHeapAfterGC ? 1u : 0u);
+  }
+
+  /// Whether this collection should poison evacuated from-space
+  /// (VerifyLevel >= 3 or the FromSpacePoison fault point).
+  bool shouldPoison() const;
+
+  /// Builds the verifier over the live spaces and runs it.
+  bool runVerifier(std::string &Error) const;
+
+  /// Level >= 1 post-collection heap validation; aborts on corruption.
   void maybeVerifyHeap(const char *Phase) const;
+
+  /// Level >= 2 pre-minor audit: every tenured/LOS slot holding a young
+  /// pointer must be covered by the roots the minor collection is about to
+  /// process. Aborts (fatalError) on a missed barrier.
+  void auditRememberedSets();
+
+  // Collector heap-dump hooks.
+  void appendHeapState(std::string &Out) const override;
+  void forEachLiveObject(
+      const std::function<void(Word *, Word)> &Fn) const override;
 
   Options Opts;
   Space NurseryA, NurseryB;
@@ -204,6 +251,9 @@ private:
 
   uint64_t LiveBytes = 0;
   uint64_t LOSAllocSinceGC = 0;
+  /// True while TenuredTo sits idle fully poisoned (checked for wild
+  /// writes at the next major's entry).
+  bool TenuredToPoisonValid = false;
   /// Present only when Opts.GcThreads > 1.
   std::unique_ptr<WorkerPool> Pool;
 };

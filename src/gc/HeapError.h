@@ -1,0 +1,54 @@
+//===- gc/HeapError.h - Structured heap exhaustion error --------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HeapExhausted: the terminal rung of the OOM escalation ladder. Thrown by
+/// a collector when an allocation cannot be satisfied even after a minor
+/// collection, a major collection, and bounded growth under the configured
+/// hard limit. Carries a heap-state dump (per-space occupancy, GC counts,
+/// top live allocation sites) captured at the point of failure. The heap is
+/// left intact and verifiable: the ladder refuses *before* moving objects,
+/// never halfway through a copy, so a mutator may catch this, release
+/// roots, and continue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_GC_HEAPERROR_H
+#define TILGC_GC_HEAPERROR_H
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace tilgc {
+
+class HeapExhausted : public std::exception {
+public:
+  HeapExhausted(uint64_t RequestedBytes, std::string HeapDump)
+      : Requested(RequestedBytes), Dump(std::move(HeapDump)) {
+    Message = "tilgc: heap exhausted: cannot satisfy a request for " +
+              std::to_string(Requested) +
+              " bytes within the configured hard limit\n" + Dump;
+  }
+
+  const char *what() const noexcept override { return Message.c_str(); }
+
+  /// Bytes the failing request asked for.
+  uint64_t requestedBytes() const { return Requested; }
+
+  /// The heap-state dump captured when the ladder gave up.
+  const std::string &heapDump() const { return Dump; }
+
+private:
+  uint64_t Requested;
+  std::string Dump;
+  std::string Message;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_GC_HEAPERROR_H

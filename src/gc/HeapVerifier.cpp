@@ -23,6 +23,12 @@ bool HeapVerifier::validPayload(const Word *P) const {
 bool HeapVerifier::validPointer(Word Bits, std::string &Error) const {
   if (!Bits)
     return true;
+  if (TILGC_UNLIKELY(HasPoison && Bits == Poison)) {
+    Error = formatString("slot holds from-space poison %llx: a stale "
+                         "reference leaked through a collection",
+                         (unsigned long long)Bits);
+    return false;
+  }
   if (Bits & 7) {
     Error = formatString("misaligned pointer %llx",
                          (unsigned long long)Bits);

@@ -37,6 +37,14 @@ public:
   }
   void setLOS(const LargeObjectSpace *L) { LOS = L; }
 
+  /// Treat \p Pattern as from-space poison: a pointer slot holding it is
+  /// reported as a leaked stale reference (a sharper message than the
+  /// misalignment error the pattern would otherwise trip).
+  void setPoisonPattern(Word Pattern) {
+    Poison = Pattern;
+    HasPoison = true;
+  }
+
   /// Walks every object in every space (and the LOS): descriptors must be
   /// valid and every non-null pointer field must target a valid payload.
   /// Returns true on success; on failure, fills \p Error.
@@ -57,6 +65,8 @@ private:
 
   std::vector<Entry> Spaces;
   const LargeObjectSpace *LOS = nullptr;
+  Word Poison = 0;
+  bool HasPoison = false;
 };
 
 } // namespace tilgc

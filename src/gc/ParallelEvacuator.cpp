@@ -6,11 +6,22 @@
 
 #include "gc/ParallelEvacuator.h"
 
+#include "support/Fatal.h"
+#include "support/FaultInjector.h"
+
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 using namespace tilgc;
+
+namespace {
+/// Thrown by a worker that must abandon the pass (injected fault, or a
+/// failed copy-block handout). Caught in workerMain; the abandoned work is
+/// finished by run()'s single-threaded serial recovery.
+struct WorkerFault {};
+} // namespace
 
 ParallelEvacuator::ParallelEvacuator(const Config &C, WorkerPool &Pool)
     : C(C), Pool(Pool) {
@@ -101,8 +112,20 @@ Word *ParallelEvacuator::copy(Worker &W, Word *P) {
     LA = &W.Old;
     NewPayload = localAllocate(W, *LA, Descriptor, NewMeta, Total);
   }
-  assert(NewPayload &&
-         "destination space overflowed during parallel evacuation");
+  if (TILGC_UNLIKELY(!NewPayload)) {
+    if (InRecovery)
+      // The recovery drain has no one left to hand work to: this is a
+      // genuine OOM in the middle of an evacuation, terminal in every
+      // build mode.
+      fatalError("destination space overflowed during serial recovery of a "
+                 "parallel evacuation (used=%zu cap=%zu, need %u bytes); "
+                 "collection cannot complete",
+                 LA->S->usedBytes(), LA->S->capacityBytes(), Total * 8);
+    // Starved of copy blocks (a genuinely full space, or the
+    // SpaceBlockHandout fault point): abandon this worker rather than
+    // deadlocking the termination protocol; serial recovery retries.
+    throw WorkerFault{};
+  }
   uint32_t Len = header::length(Descriptor);
   std::memcpy(NewPayload, P, static_cast<size_t>(Len) * sizeof(Word));
 
@@ -171,10 +194,15 @@ void ParallelEvacuator::scanObject(Worker &W, Word *Payload) {
 void ParallelEvacuator::scanSpan(Worker &W, Span S) {
   Word *P = S.Begin;
   while (P < S.End) {
+    // If scanObject faults, everything from this object to the span end is
+    // still gray; recovery rescans it (a partially scanned object rescans
+    // safely — forwarding is idempotent).
+    W.Pending = Span{P, S.End};
     Word *Payload = P + HeaderWords;
     P += objectTotalWords(descriptorOf(Payload));
     scanObject(W, Payload);
   }
+  W.Pending = Span{nullptr, nullptr};
   assert(P == S.End && "span scan overran its end");
 }
 
@@ -193,12 +221,18 @@ bool ParallelEvacuator::scanLocalBatch(Worker &W, LocalAlloc &LA) {
   }
   int Budget = 64;
   while (Budget-- > 0 && LA.Scan < LA.Alloc) {
-    Word *Payload = LA.Scan + HeaderWords;
+    Word *Begin = LA.Scan;
+    Word *Payload = Begin + HeaderWords;
     // Advance before scanning: scanning can retire this block (publishing
-    // [Scan, Alloc)), and the cursor must already be past this object.
+    // [Scan, Alloc)), and the cursor must already be past this object. The
+    // in-flight object itself is therefore outside every published span
+    // and outside [Scan, Alloc) — Pending keeps it reachable for recovery
+    // if the scan faults.
     LA.Scan += objectTotalWords(descriptorOf(Payload));
+    W.Pending = Span{Begin, Begin + objectTotalWords(descriptorOf(Payload))};
     scanObject(W, Payload);
   }
+  W.Pending = Span{nullptr, nullptr};
   return true;
 }
 
@@ -250,15 +284,47 @@ void ParallelEvacuator::forwardRootRange(Worker &W, size_t Begin,
     size_t Lo = std::max(Begin, SpanOffsets[SI]) - SpanOffsets[SI];
     size_t Hi = std::min(End, SpanOffsets[SI + 1]) - SpanOffsets[SI];
     Word *const *Slots = RootSpans[SI].Slots;
-    for (size_t I = Lo; I < Hi; ++I)
+    for (size_t I = Lo; I < Hi; ++I) {
+      // Cursor before the forward: if it faults, this slot still needs
+      // doing (the recovery drain resumes from RootCursor inclusive).
+      W.RootCursor = SpanOffsets[SI] + I;
       forwardSlot(W, Slots[I]);
+    }
   }
+  W.RootCursor = End;
+}
+
+void ParallelEvacuator::faultCheck() {
+  FaultInjector &FI = FaultInjector::global();
+  if (TILGC_UNLIKELY(FI.shouldFire(FaultPoint::WorkerStall)))
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  if (TILGC_UNLIKELY(FI.shouldFire(FaultPoint::WorkerThrow)))
+    throw WorkerFault{};
 }
 
 void ParallelEvacuator::workerMain(unsigned Index) {
+  try {
+    workerBody(Index);
+  } catch (...) {
+    // A faulted worker abandons its in-flight work — unforwarded root
+    // slice, pending span, local gray backlog, overflow list, deque — to
+    // the post-join serial recovery and leaves the termination protocol.
+    // Every throwing site runs while the worker is active, so one
+    // decrement rebalances NumActive; the remaining workers keep stealing
+    // (including from the faulted deque) and terminate normally.
+    NumFaults.fetch_add(1, std::memory_order_relaxed);
+    NumActive.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelEvacuator::workerBody(unsigned Index) {
   Worker &W = *Workers[Index];
+  if (TILGC_UNLIKELY(FaultInjector::enabled()))
+    faultCheck();
   forwardRootRange(W, W.RootBegin, W.RootEnd);
   for (;;) {
+    if (TILGC_UNLIKELY(FaultInjector::enabled()))
+      faultCheck();
     if (scanStep(W))
       continue;
     // Out of local work: go idle and scavenge. A worker re-activates
@@ -279,6 +345,69 @@ void ParallelEvacuator::workerMain(unsigned Index) {
   }
 }
 
+/// Scans a worker's unscanned local gray range [Scan, Alloc) with \p R's
+/// copy context. For R itself this is the ordinary Cheney loop: copies can
+/// retire R's block (nulling the cursors — hence the null guard) and open a
+/// fresh one, whose gray objects this same loop then drains.
+bool ParallelEvacuator::drainLocalGray(Worker &R, LocalAlloc &LA) {
+  bool Any = false;
+  while (LA.Scan && LA.Scan < LA.Alloc) {
+    Word *Payload = LA.Scan + HeaderWords;
+    LA.Scan += objectTotalWords(descriptorOf(Payload));
+    Any = true;
+    scanObject(R, Payload);
+  }
+  return Any;
+}
+
+void ParallelEvacuator::serialRecover() {
+  InRecovery = true;
+  Worker &R = *Workers[0];
+  // Finish every abandoned root slice first. Re-forwarding slots a healthy
+  // worker already processed is harmless: the slot just re-adopts the
+  // installed forwarding target.
+  for (std::unique_ptr<Worker> &WP : Workers) {
+    size_t Cursor = WP->RootCursor;
+    size_t End = WP->RootEnd;
+    if (Cursor < End)
+      forwardRootRange(R, Cursor, End);
+  }
+  // Drain every worker's leftovers to a fixed point. All of it funnels
+  // through R's copy context; work R copies lands in R's own backlog and
+  // is picked up by the same passes.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (std::unique_ptr<Worker> &WP : Workers) {
+      Worker &W = *WP;
+      if (W.Pending.Begin) {
+        Span S = W.Pending;
+        W.Pending = Span{nullptr, nullptr};
+        scanSpan(R, S);
+        Progress = true;
+      }
+      if (drainLocalGray(R, W.Old))
+        Progress = true;
+      if (drainLocalGray(R, W.Young))
+        Progress = true;
+      while (!W.Overflow.empty()) {
+        Span S = W.Overflow.back();
+        W.Overflow.pop_back();
+        scanSpan(R, S);
+        Progress = true;
+      }
+      // steal(), not pop(): safe from a foreign thread, and with the
+      // workers joined it fails only on a genuinely empty deque.
+      Span S;
+      while (W.Deque.steal(S)) {
+        scanSpan(R, S);
+        Progress = true;
+      }
+    }
+  }
+  InRecovery = false;
+}
+
 void ParallelEvacuator::run() {
   unsigned N = static_cast<unsigned>(Workers.size());
   // addRoot singles form one final span after the explicit spans, so the
@@ -294,15 +423,28 @@ void ParallelEvacuator::run() {
   for (unsigned I = 0; I < N; ++I) {
     Workers[I]->RootBegin = NumRoots * I / N;
     Workers[I]->RootEnd = NumRoots * (I + 1) / N;
+    Workers[I]->RootCursor = Workers[I]->RootBegin;
   }
   NumActive.store(N, std::memory_order_relaxed);
+  NumFaults.store(0, std::memory_order_relaxed);
   Pool.runOnAll([this](unsigned I) { workerMain(I); });
+
+  // Faulted workers left work behind; finish it single-threaded before the
+  // merge (the join above makes all their writes visible here).
+  if (TILGC_UNLIKELY(NumFaults.load(std::memory_order_relaxed) > 0))
+    serialRecover();
 
   for (std::unique_ptr<Worker> &WP : Workers) {
     Worker &W = *WP;
-    assert(W.Overflow.empty() && W.Old.Scan == W.Old.Alloc &&
-           W.Young.Scan == W.Young.Alloc &&
-           "worker finished with unscanned gray work");
+    // Always-on post-condition: every gray object was scanned. A violation
+    // here means the termination/recovery protocol lost work — continuing
+    // would hand the mutator a heap with unforwarded from-space pointers.
+    if (TILGC_UNLIKELY(!(W.Overflow.empty() && W.Old.Scan == W.Old.Alloc &&
+                         W.Young.Scan == W.Young.Alloc && !W.Pending.Begin)))
+      fatalError("parallel evacuation finished with unscanned gray work "
+                 "(worker %zu, faults=%u)",
+                 static_cast<size_t>(&WP - Workers.data()),
+                 NumFaults.load(std::memory_order_relaxed));
     retireBlock(W, W.Old);
     retireBlock(W, W.Young);
     TotalBytesCopied += W.BytesCopied;

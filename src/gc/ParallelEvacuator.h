@@ -105,6 +105,12 @@ public:
   uint64_t bytesCopied() const { return TotalBytesCopied; }
   uint64_t objectsCopied() const { return TotalObjectsCopied; }
 
+  /// Workers that faulted (threw) during the pass. When nonzero, run()
+  /// finished their abandoned work with a single-threaded recovery drain.
+  unsigned workerFaults() const {
+    return NumFaults.load(std::memory_order_relaxed);
+  }
+
   /// Extra destination capacity (beyond live bytes) the block handout may
   /// consume as pad waste when copying \p IncomingBytes with \p Threads
   /// workers. Collectors add this to their worst-case reserves.
@@ -148,9 +154,24 @@ private:
     uint32_t Seed = 0;
     size_t RootBegin = 0;
     size_t RootEnd = 0;
+    /// Fault-recovery bookkeeping: the global root index this worker has
+    /// forwarded up to (slots in [RootCursor, RootEnd) may be unprocessed
+    /// if the worker faulted), and the span it was scanning when it died.
+    size_t RootCursor = 0;
+    Span Pending{nullptr, nullptr};
   };
 
   void workerMain(unsigned Index);
+  void workerBody(unsigned Index);
+  /// Exercises the WorkerStall / WorkerThrow fault-injection points.
+  void faultCheck();
+  /// Single-threaded post-join drain of everything faulted workers
+  /// abandoned: unforwarded root slices, pending spans, local gray
+  /// backlogs, overflow lists and deques. Safe because forwarding is
+  /// idempotent (re-forwarding an already-copied object just adopts the
+  /// installed target).
+  void serialRecover();
+  bool drainLocalGray(Worker &R, LocalAlloc &LA);
   void forwardRootRange(Worker &W, size_t Begin, size_t End);
   void forwardSlot(Worker &W, Word *Slot);
   Word *copy(Worker &W, Word *P);
@@ -183,6 +204,14 @@ private:
   std::vector<size_t> SpanOffsets;
   std::vector<std::unique_ptr<Worker>> Workers;
   std::atomic<unsigned> NumActive{0};
+  /// Workers that threw out of workerBody this pass. Fault points only
+  /// fire while a worker is active, so its catch handler performs the one
+  /// NumActive decrement that keeps the termination protocol balanced.
+  std::atomic<unsigned> NumFaults{0};
+  /// True while serialRecover() runs: a copy-space overflow there is a
+  /// genuine OOM mid-evacuation and must die structurally rather than
+  /// re-throwing into a recovery that cannot recover itself.
+  bool InRecovery = false;
   uint64_t TotalBytesCopied = 0;
   uint64_t TotalObjectsCopied = 0;
 };

@@ -7,7 +7,10 @@
 #include "gc/SemispaceCollector.h"
 
 #include "gc/Evacuator.h"
+#include "gc/HeapVerifier.h"
 #include "gc/ParallelEvacuator.h"
+#include "support/Fatal.h"
+#include "support/Table.h"
 #include "support/WorkerPool.h"
 
 #include <algorithm>
@@ -45,7 +48,11 @@ Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     // boundary, and more importantly the collection consumed the old one.
     Meta = makeMeta(SiteId);
     Payload = Active->allocate(Descriptor, Meta);
-    assert(Payload && "allocation failed after forced growth");
+    // Terminal rung of the OOM ladder (the collection either grew the heap
+    // or was stopped by the hard cap and threw already): a catchable,
+    // structured failure in every build mode.
+    if (TILGC_UNLIKELY(!Payload))
+      throwHeapExhausted(objectTotalBytes(Descriptor));
   }
   accountAllocation(Kind, Descriptor, SiteId);
   std::memset(Payload, 0, static_cast<size_t>(LenWords) * sizeof(Word));
@@ -59,6 +66,40 @@ void SemispaceCollector::collect(bool Major) {
 
 void SemispaceCollector::collectInternal(size_t NeedBytes) {
   TimerScope GcScope(Stats.GcTime);
+  FaultInjector::ScopedGcPhase GcPhase;
+
+  // Inactive has sat idle since the last collection; if it was left
+  // poisoned, any clobbered word is a wild write through a stale pointer.
+  if (TILGC_UNLIKELY(InactivePoisonValid)) {
+    if (const Word *Bad = Inactive->findPoisonViolation())
+      fatalError("from-space poison clobbered at %p before semispace GC "
+                 "#%llu (holds %llx): wild write through a stale pointer",
+                 (const void *)Bad, (unsigned long long)(Stats.NumGC + 1),
+                 (unsigned long long)*Bad);
+    InactivePoisonValid = false;
+  }
+
+  // Worst case the to-space must absorb: everything live plus the
+  // allocation that triggered us (plus per-worker block-tail padding
+  // slack in parallel mode).
+  size_t WorstCase = Active->usedBytes() + NeedBytes;
+  if (Pool)
+    WorstCase += ParallelEvacuator::reserveSlackBytes(Active->usedBytes(),
+                                                      Opts.GcThreads);
+
+  // Hard-cap pre-flight, BEFORE any object moves: if the peak footprint of
+  // this collection (to-space grown to the worst case if it needs growing)
+  // exceeds the cap, refuse catchably while the heap is still intact and
+  // verifiable. Unconditional when a cap is set — the post-collection
+  // resize's MinSize floor may legally pre-provision a to-space the cap
+  // cannot absorb, and this check is where that breach becomes a throw
+  // instead of unbounded ratcheting growth.
+  if (TILGC_UNLIKELY(Opts.HardLimitBytes) &&
+      Active->capacityBytes() +
+              std::max(Inactive->capacityBytes(), WorstCase) >
+          Opts.HardLimitBytes)
+    throwHeapExhausted(NeedBytes ? NeedBytes : WorstCase);
+
   ++Stats.NumGC;
   ++Stats.NumMajorGC;
   accountStackAtGC();
@@ -78,13 +119,6 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     gatherRegRoots();
   }
 
-  // Make sure the to-space can absorb the worst case (everything live)
-  // plus the allocation that triggered us. The parallel engine needs slack
-  // for per-worker block-tail padding on top of that.
-  size_t WorstCase = Active->usedBytes() + NeedBytes;
-  if (Pool)
-    WorstCase += ParallelEvacuator::reserveSlackBytes(Active->usedBytes(),
-                                                      Opts.GcThreads);
   if (Inactive->capacityBytes() < WorstCase) {
     if (WorstCase * 2 > Opts.BudgetBytes)
       ++Stats.BudgetOverruns;
@@ -138,8 +172,67 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
   size_t MinSize = LiveBytes + NeedBytes + (4u << 10);
   size_t MaxSize = std::max<size_t>(Opts.BudgetBytes / 2, MinSize);
   Desired = std::clamp(Desired, MinSize, MaxSize);
+  // Under a hard cap, never reserve an empty space the cap could not
+  // absorb — but never below MinSize (this collection already succeeded;
+  // the next one's pre-flight throws if MinSize itself breaches the cap).
+  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+    size_t Room = Opts.HardLimitBytes > Active->capacityBytes()
+                      ? Opts.HardLimitBytes - Active->capacityBytes()
+                      : 0;
+    Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
+  }
   Inactive->reserve(Desired);
   // Shrink the live space too (soft limit): a factor below 1 must take
   // effect even though the storage cannot be reallocated under the data.
   Active->setSoftLimitBytes(Desired);
+
+  if (TILGC_UNLIKELY(shouldPoison())) {
+    Inactive->poisonFreeSpace();
+    InactivePoisonValid = true;
+  }
+  maybeVerifyHeap();
+}
+
+bool SemispaceCollector::shouldPoison() const {
+  if (Opts.VerifyLevel >= 3)
+    return true;
+  return TILGC_UNLIKELY(FaultInjector::enabled()) &&
+         FaultInjector::global().shouldFire(FaultPoint::FromSpacePoison);
+}
+
+bool SemispaceCollector::runVerifier(std::string &Error) const {
+  HeapVerifier V;
+  V.addSpace(Active, "active");
+  V.setPoisonPattern(Space::PoisonPattern);
+  return V.verifyHeap(Error);
+}
+
+void SemispaceCollector::maybeVerifyHeap() const {
+  if (TILGC_LIKELY(Opts.VerifyLevel < 1))
+    return;
+  std::string Error;
+  if (!runVerifier(Error))
+    fatalError("heap verification failed after semispace GC #%llu: %s",
+               (unsigned long long)Stats.NumGC, Error.c_str());
+}
+
+void SemispaceCollector::appendHeapState(std::string &Out) const {
+  Out += formatString("semispace collector '%s': budget %zu bytes, ",
+                      Opts.Name.empty() ? "<unnamed>" : Opts.Name.c_str(),
+                      Opts.BudgetBytes);
+  Out += Opts.HardLimitBytes
+             ? formatString("hard limit %zu bytes\n", Opts.HardLimitBytes)
+             : std::string("no hard limit\n");
+  Out += formatString("  %-12s %10zu / %10zu bytes used\n", "active",
+                      Active->usedBytes(), Active->capacityBytes());
+  Out += formatString("  %-12s %10zu / %10zu bytes used\n", "inactive",
+                      Inactive->usedBytes(), Inactive->capacityBytes());
+}
+
+void SemispaceCollector::forEachLiveObject(
+    const std::function<void(Word *, Word)> &Fn) const {
+  Active->walk([&](Word *Payload, Word Descriptor, bool Forwarded) {
+    if (!Forwarded)
+      Fn(Payload, Descriptor);
+  });
 }

@@ -35,6 +35,10 @@ public:
   struct Options {
     /// Total memory budget (both semispaces together): the paper's k*Min.
     size_t BudgetBytes = 64u << 20;
+    /// Hard cap on total heap footprint (both semispaces). 0 = unlimited
+    /// (the paper's soft-budget behavior). When set, the collector throws a
+    /// catchable HeapExhausted instead of growing past it.
+    size_t HardLimitBytes = 0;
     /// Target liveness ratio r (paper: 0.10).
     double TargetLiveness = 0.10;
     /// Generational stack collection (§7.1).
@@ -45,6 +49,12 @@ public:
     /// instead of interpreting trace tables slot by slot. Same roots; false
     /// restores the paper's interpretive scan for comparison.
     bool CompiledScanPlans = true;
+    /// Leveled heap invariant auditing: 0 = off; 1 = post-GC heap walk;
+    /// 3 = + from-space poisoning with integrity checks. (Level 2's
+    /// remembered-set audit is generational-only; here it equals 1.)
+    unsigned VerifyLevel = 0;
+    /// Name for diagnostics (heap dumps, fatal errors).
+    std::string Name;
     /// Evacuation threads. 1 = the serial engine (bit-identical paper
     /// reproduction); >1 = the work-stealing ParallelEvacuator.
     unsigned GcThreads = 1;
@@ -61,6 +71,9 @@ public:
   MarkerManager *markerManager() override {
     return Opts.UseStackMarkers ? &Markers : nullptr;
   }
+  bool verifyHeapNow(std::string &Error) const override {
+    return runVerifier(Error);
+  }
 
   /// Mutator fast path: everything bump-allocates into the active space.
   bool siteAllowsInlineAlloc(uint32_t SiteId) const override {
@@ -74,14 +87,33 @@ public:
 
 private:
   /// Runs one collection, guaranteeing at least \p NeedBytes of free space
-  /// afterwards (growing past the budget if unavoidable).
+  /// afterwards (growing past the budget if unavoidable — unless a hard
+  /// limit is set, in which case it throws HeapExhausted *before* moving
+  /// anything).
   void collectInternal(size_t NeedBytes);
+
+  /// Whether this collection should poison the evacuated from-space.
+  bool shouldPoison() const;
+
+  /// Builds the verifier over the active space and runs it.
+  bool runVerifier(std::string &Error) const;
+
+  /// VerifyLevel >= 1 post-collection validation; aborts on corruption.
+  void maybeVerifyHeap() const;
+
+  // Collector heap-dump hooks.
+  void appendHeapState(std::string &Out) const override;
+  void forEachLiveObject(
+      const std::function<void(Word *, Word)> &Fn) const override;
 
   Options Opts;
   Space SpaceA, SpaceB;
   Space *Active = &SpaceA;
   Space *Inactive = &SpaceB;
   uint64_t LiveBytes = 0;
+  /// True while Inactive sits idle fully poisoned (checked for wild writes
+  /// at the next collection's entry).
+  bool InactivePoisonValid = false;
   MarkerManager Markers;
   ScanCache Cache;
   /// Present only when Opts.GcThreads > 1.

@@ -6,6 +6,8 @@
 
 #include "heap/LargeObjectSpace.h"
 
+#include "support/Fatal.h"
+
 #include <atomic>
 #include <cstdlib>
 
@@ -19,7 +21,10 @@ LargeObjectSpace::~LargeObjectSpace() {
 Word *LargeObjectSpace::allocate(Word Descriptor, Word Meta) {
   uint32_t Total = objectTotalWords(Descriptor);
   Word *Block = static_cast<Word *>(std::malloc(Total * sizeof(Word)));
-  assert(Block && "out of host memory");
+  if (TILGC_UNLIKELY(!Block))
+    fatalError("large-object allocation of %zu bytes failed: host out of "
+               "memory (LOS holds %zu objects, %zu live bytes)",
+               Total * sizeof(Word), Objects.size(), (size_t)LiveBytes);
   Word *Payload = Block + HeaderWords;
   Block[0] = Descriptor;
   Block[1] = Meta;

@@ -6,6 +6,8 @@
 
 #include "heap/Space.h"
 
+#include "support/Fatal.h"
+
 #include <cstdlib>
 
 using namespace tilgc;
@@ -16,7 +18,9 @@ void Space::reserve(size_t Bytes) {
   if (Words == 0)
     Words = HeaderWords;
   Base = static_cast<Word *>(std::malloc(Words * sizeof(Word)));
-  assert(Base && "out of host memory");
+  if (TILGC_UNLIKELY(!Base))
+    fatalError("space reservation of %zu bytes failed: host out of memory",
+               Words * sizeof(Word));
   assert((reinterpret_cast<uintptr_t>(Base) & 7) == 0 &&
          "space must be word-aligned");
   Next = Base;

@@ -16,7 +16,9 @@
 #define TILGC_HEAP_SPACE_H
 
 #include "object/Object.h"
+#include "support/FaultInjector.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -46,6 +48,9 @@ public:
     uint32_t Total = objectTotalWords(Descriptor);
     if (TILGC_UNLIKELY(Next + Total > SoftLimit))
       return nullptr;
+    if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+        FaultInjector::global().shouldFire(FaultPoint::SpaceAllocNull))
+      return nullptr;
     Word *Payload = Next + HeaderWords;
     Next[0] = Descriptor;
     Next[1] = Meta;
@@ -61,6 +66,9 @@ public:
   /// allocateBlock/returnBlockTail calls; NOT against concurrent allocate().
   bool allocateBlock(size_t MinWords, size_t MaxWords, Word *&BlockBegin,
                      Word *&BlockEnd) {
+    if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+        FaultInjector::global().shouldFire(FaultPoint::SpaceBlockHandout))
+      return false;
     std::atomic_ref<Word *> ANext(Next);
     Word *Cur = ANext.load(std::memory_order_relaxed);
     size_t Take;
@@ -115,6 +123,26 @@ public:
   }
   size_t freeBytes() const { return capacityBytes() - usedBytes(); }
   bool empty() const { return Next == Base; }
+
+  /// The poison word written over evacuated from-space (VerifyLevel >= 3 or
+  /// the FromSpacePoison fault point). Deliberately misaligned (low bits
+  /// 0b101) so a leaked stale read trips the verifier's alignment check and
+  /// faults loudly if dereferenced.
+  static constexpr Word PoisonPattern = 0xDEADDEADDEADDEADULL;
+
+  /// Fills the unallocated region [frontier, limit) with PoisonPattern.
+  /// After reset() this poisons the whole space.
+  void poisonFreeSpace() { std::fill(Next, Limit, PoisonPattern); }
+
+  /// Checks the unallocated region is still wholly poisoned; returns the
+  /// address of the first clobbered word, or nullptr if intact. Detects
+  /// writes through stale pointers into a space believed empty.
+  const Word *findPoisonViolation() const {
+    for (const Word *P = Next; P < Limit; ++P)
+      if (TILGC_UNLIKELY(*P != PoisonPattern))
+        return P;
+    return nullptr;
+  }
 
   /// First object payload (for linear walks).
   Word *firstPayload() const { return Base + HeaderWords; }

@@ -6,6 +6,8 @@
 
 #include "runtime/Mutator.h"
 
+#include "support/Fatal.h"
+
 using namespace tilgc;
 
 Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
@@ -20,7 +22,10 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
   switch (Config.Kind) {
   case CollectorKind::Semispace: {
     SemispaceCollector::Options Opts;
+    Opts.Name = Config.Name;
     Opts.BudgetBytes = Config.BudgetBytes;
+    Opts.HardLimitBytes = Config.HardLimitBytes;
+    Opts.VerifyLevel = Config.VerifyLevel;
     Opts.TargetLiveness = Config.SemispaceTargetLiveness;
     Opts.UseStackMarkers = Config.UseStackMarkers;
     Opts.MarkerPeriod = Config.MarkerPeriod;
@@ -32,7 +37,10 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
   }
   case CollectorKind::Generational: {
     GenerationalCollector::Options Opts;
+    Opts.Name = Config.Name;
     Opts.BudgetBytes = Config.BudgetBytes;
+    Opts.HardLimitBytes = Config.HardLimitBytes;
+    Opts.VerifyLevel = Config.VerifyLevel;
     Opts.NurseryLimitBytes = Config.NurseryLimitBytes;
     Opts.TenuredTargetLiveness = Config.TenuredTargetLiveness;
     Opts.LargeObjectThresholdBytes = Config.LargeObjectThresholdBytes;
@@ -55,7 +63,14 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
 Mutator::~Mutator() = default;
 
 void Mutator::raise(Value Exn) {
-  assert(!Handlers.empty() && "uncaught ML exception");
+  // An uncaught ML exception is a workload bug, but one that must die
+  // loudly and identifiably in every build mode — the NDEBUG alternative
+  // is unwinding through an empty handler stack into memory corruption.
+  if (TILGC_UNLIKELY(Handlers.empty()))
+    fatalError("uncaught ML exception in mutator '%s': handler stack empty "
+               "at raise #%llu with %zu live frames",
+               Config.Name.empty() ? "<unnamed>" : Config.Name.c_str(),
+               (unsigned long long)(NumRaises + 1), Stack.frameCount());
   HandlerEntry H = Handlers.back();
   Handlers.pop_back();
   ++NumRaises;

@@ -60,8 +60,16 @@ enum class CollectorKind { Semispace, Generational };
 /// paper's setup.
 struct MutatorConfig {
   CollectorKind Kind = CollectorKind::Generational;
+  /// Name for diagnostics: heap-state dumps and fatal errors cite it so a
+  /// torture matrix can tell which workload/configuration died.
+  std::string Name;
   /// Total memory budget: the paper's k*Min.
   size_t BudgetBytes = 64u << 20;
+  /// Hard cap on total heap footprint. 0 = unlimited (the paper's
+  /// soft-budget behavior: collections may grow past BudgetBytes, counting
+  /// BudgetOverruns). When set, exhaustion becomes a catchable
+  /// HeapExhausted carrying a heap-state dump, in every build mode.
+  size_t HardLimitBytes = 0;
   /// Generational stack collection (§5).
   bool UseStackMarkers = false;
   unsigned MarkerPeriod = 25;
@@ -86,7 +94,13 @@ struct MutatorConfig {
   /// Debug: verify the §5 reused-root invariant at each minor collection.
   bool VerifyReuseInvariant = false;
   /// Debug: walk and validate the whole heap after every collection.
+  /// Legacy switch — equivalent to VerifyLevel = 1.
   bool VerifyHeapAfterGC = false;
+  /// Leveled heap invariant auditing, active in every build mode:
+  /// 0 = off; 1 = post-GC heap walk; 2 = + pre-minor remembered-set
+  /// completeness audit (generational); 3 = + from-space poisoning with
+  /// wild-write integrity checks.
+  unsigned VerifyLevel = 0;
   /// Evacuation threads: 1 = the serial engine (bit-identical paper
   /// reproduction); >1 = the work-stealing ParallelEvacuator.
   unsigned GcThreads = 1;
@@ -249,6 +263,13 @@ public:
   //===--------------------------------------------------------------------===
 
   void collect(bool Major = false) { GC->collect(Major); }
+
+  /// Runs the collector's heap verifier on demand (any build mode). Returns
+  /// false and fills \p Error on the first violation — the torture driver's
+  /// "the heap is never corrupt, even after a structured failure" check.
+  bool verifyHeap(std::string &Error) const {
+    return GC->verifyHeapNow(Error);
+  }
 
   GcStats &gcStats() { return GC->stats(); }
   const GcStats &gcStats() const { return GC->stats(); }

@@ -1,0 +1,47 @@
+//===- support/Fatal.h - Always-on fatal runtime errors ---------*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fatalError: the termination path for runtime invariants that must hold in
+/// every build mode. Unlike assert, this survives NDEBUG; unlike
+/// TILGC_UNREACHABLE, it carries a printf-formatted diagnostic so a crash in
+/// production names the space, the byte counts, and the phase that died.
+/// Use it for conditions the environment can violate (host OOM, heap
+/// corruption discovered mid-collection); keep assert for algorithmic
+/// invariants that only a code bug can break.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_SUPPORT_FATAL_H
+#define TILGC_SUPPORT_FATAL_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tilgc {
+
+[[noreturn]] inline void fatalErrorV(const char *Fmt, va_list Ap) {
+  std::fputs("tilgc fatal error: ", stderr);
+  std::vfprintf(stderr, Fmt, Ap);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+[[noreturn]] inline void
+fatalError(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  fatalErrorV(Fmt, Ap);
+}
+
+} // namespace tilgc
+
+#endif // TILGC_SUPPORT_FATAL_H

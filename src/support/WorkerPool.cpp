@@ -41,7 +41,16 @@ void WorkerPool::threadMain(unsigned Index) {
       SeenGeneration = Generation;
       MyJob = Job;
     }
-    (*MyJob)(Index);
+    // An exception escaping the job must not skip the Unfinished
+    // decrement: runOnAll would wait forever and the whole pool (plus the
+    // caller's collection) would deadlock. Jobs are expected to contain
+    // their own failures (the evacuator converts worker faults into a
+    // serial-recovery pass); an escape here is swallowed after the
+    // accounting.
+    try {
+      (*MyJob)(Index);
+    } catch (...) {
+    }
     {
       std::lock_guard<std::mutex> Lock(M);
       if (--Unfinished == 0)
@@ -63,7 +72,18 @@ void WorkerPool::runOnAll(const std::function<void(unsigned)> &Fn) {
     ++Generation;
   }
   WakeCV.notify_all();
-  Fn(0);
+  // If the caller's own slice throws, still wait for the helpers: they
+  // hold a pointer to Fn, which dies when this frame unwinds.
+  try {
+    Fn(0);
+  } catch (...) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      DoneCV.wait(Lock, [&] { return Unfinished == 0; });
+      Job = nullptr;
+    }
+    throw;
+  }
   {
     std::unique_lock<std::mutex> Lock(M);
     DoneCV.wait(Lock, [&] { return Unfinished == 0; });

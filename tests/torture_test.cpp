@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <unordered_map>
 #include <vector>
 
@@ -208,25 +209,40 @@ struct TortureCase {
   MutatorConfig Config;
 };
 
+/// CI can raise the audit level for a whole suite run without recompiling
+/// (e.g. TILGC_VERIFY_LEVEL=3 under the sanitizer jobs).
+unsigned envVerifyLevel(unsigned Default) {
+  if (const char *E = std::getenv("TILGC_VERIFY_LEVEL"))
+    return static_cast<unsigned>(std::atoi(E));
+  return Default;
+}
+
 std::vector<TortureCase> tortureConfigs() {
   std::vector<TortureCase> Cases;
   auto Add = [&](const char *Name, auto Tweak) {
     MutatorConfig C;
+    C.Name = Name;
     C.BudgetBytes = 512u << 10; // Tight: constant collection pressure.
-    C.VerifyHeapAfterGC = true;
+    C.VerifyLevel = envVerifyLevel(2);
     Tweak(C);
     Cases.push_back({Name, C});
   };
   Add("semispace", [](MutatorConfig &C) {
     C.Kind = CollectorKind::Semispace;
-    C.VerifyHeapAfterGC = false; // Verifier hooks are generational-only.
   });
   Add("semispace_markers", [](MutatorConfig &C) {
     C.Kind = CollectorKind::Semispace;
     C.UseStackMarkers = true;
-    C.VerifyHeapAfterGC = false;
+  });
+  Add("semispace_poison", [](MutatorConfig &C) {
+    C.Kind = CollectorKind::Semispace;
+    C.VerifyLevel = envVerifyLevel(3);
   });
   Add("generational", [](MutatorConfig &C) { (void)C; });
+  Add("generational_poison", [](MutatorConfig &C) {
+    C.VerifyLevel = envVerifyLevel(3);
+  });
+  Add("generational_mt4", [](MutatorConfig &C) { C.GcThreads = 4; });
   Add("generational_markers", [](MutatorConfig &C) {
     C.UseStackMarkers = true;
     C.VerifyReuseInvariant = true;
@@ -280,7 +296,7 @@ TEST_P(GcTorture, StructureSurvivesCollections) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, GcTorture,
-    ::testing::Combine(::testing::Range<size_t>(0, 8),
+    ::testing::Combine(::testing::Range<size_t>(0, 11),
                        ::testing::Values(1u, 2u, 3u, 42u, 1998u)),
     [](const ::testing::TestParamInfo<std::tuple<size_t, uint64_t>> &Info) {
       return std::string(tortureConfigs()[std::get<0>(Info.param)].Name) +
