@@ -8,10 +8,12 @@
 
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <thread>
 
 using namespace tilgc;
 using namespace tilgc::bench;
@@ -48,6 +50,16 @@ Measurement bench::runWorkload(Workload &W, const MutatorConfig &Config,
   R.PretenuredBytes = S.PretenuredBytes;
   R.PretenuredScannedBytes = S.PretenuredScannedBytes;
   R.PretenuredSkippedBytes = S.PretenuredScanSkippedBytes;
+  const PauseHistogram &Minor =
+      M.telemetry().histogram(GcGeneration::Minor);
+  const PauseHistogram &Major =
+      M.telemetry().histogram(GcGeneration::Major);
+  R.MinorPauseP50Us = static_cast<double>(Minor.p50Ns()) / 1e3;
+  R.MinorPauseP99Us = static_cast<double>(Minor.p99Ns()) / 1e3;
+  R.MajorPauseP50Us = static_cast<double>(Major.p50Ns()) / 1e3;
+  R.MajorPauseP99Us = static_cast<double>(Major.p99Ns()) / 1e3;
+  R.MaxPauseUs =
+      static_cast<double>(std::max(Minor.maxNs(), Major.maxNs())) / 1e3;
   R.Valid = Got == W.expected(Scale);
   return R;
 }
@@ -149,6 +161,36 @@ void bench::printBanner(const char *Title, double Scale) {
               "# differ from the paper's DEC Alpha; the shapes are the\n"
               "# experiment. Memory protocol: budget = k * Min, Min = 2 *\n"
               "# max live data (measured by a calibration run).\n\n");
+}
+
+std::string bench::machineMetaJson() {
+#ifdef TILGC_BUILD_TYPE
+  const char *Build = TILGC_BUILD_TYPE[0] ? TILGC_BUILD_TYPE : "unspecified";
+#else
+  const char *Build = "unspecified";
+#endif
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"hardware_concurrency\": %u, \"build_type\": \"%s\", "
+                "\"pointer_bits\": %u, \"asserts\": %s}",
+                std::thread::hardware_concurrency(), Build,
+                unsigned(sizeof(void *) * 8),
+#ifdef NDEBUG
+                "false"
+#else
+                "true"
+#endif
+  );
+  return Buf;
+}
+
+std::string bench::pauseUs(double Us) {
+  char Buf[32];
+  if (Us >= 1000.0)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", Us / 1000.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0fus", Us);
+  return Buf;
 }
 
 std::string bench::sec(double Seconds) {

@@ -49,6 +49,14 @@ struct Measurement {
   uint64_t PretenuredBytes = 0;
   uint64_t PretenuredScannedBytes = 0;
   uint64_t PretenuredSkippedBytes = 0;
+  /// Pause-time percentiles from the collector's always-on histograms
+  /// (microseconds; semispace collections all count as major). From the
+  /// first run when averaging — percentile shape, not a mean.
+  double MinorPauseP50Us = 0;
+  double MinorPauseP99Us = 0;
+  double MajorPauseP50Us = 0;
+  double MajorPauseP99Us = 0;
+  double MaxPauseUs = 0;
   bool Valid = false;
 };
 
@@ -86,6 +94,14 @@ double scaleFromArgs(int Argc, char **Argv);
 
 /// Prints the standard header line for a bench binary.
 void printBanner(const char *Title, double Scale);
+
+/// Machine/build metadata as a JSON object string (no trailing newline):
+/// hardware concurrency, build type, pointer width. Benchmarks embed it in
+/// their JSON output so results carry the context needed to judge them.
+std::string machineMetaJson();
+
+/// "12.3us"-style pause cell from a microseconds figure.
+std::string pauseUs(double Us);
 
 /// "0.123" helper used across tables.
 std::string sec(double Seconds);

@@ -42,7 +42,8 @@ int main(int Argc, char **Argv) {
 
   std::FILE *Json = std::fopen("BENCH_parallel.json", "w");
   if (Json)
-    std::fprintf(Json, "[\n");
+    std::fprintf(Json, "{\"meta\": %s,\n \"runs\": [\n",
+                 machineMetaJson().c_str());
   bool FirstRecord = true;
 
   for (const auto &W : allWorkloads()) {
@@ -68,21 +69,26 @@ int main(int Argc, char **Argv) {
             "%s  {\"workload\": \"%s\", \"threads\": %u, \"k\": 4.0,\n"
             "   \"copy_sec\": %.6f, \"gc_sec\": %.6f, \"total_sec\": %.6f,\n"
             "   \"bytes_copied\": %llu, \"num_gc\": %llu,\n"
+            "   \"minor_p99_us\": %.1f, \"major_p99_us\": %.1f,\n"
             "   \"copy_speedup\": %.4f, \"gc_speedup\": %.4f,"
-            " \"valid\": %s}",
+            " \"speedup_reliable\": %s, \"valid\": %s}",
             FirstRecord ? "" : ",\n", W->name(), Threads[I],
             M[I].CopySec, M[I].GcSec, M[I].TotalSec,
             (unsigned long long)M[I].BytesCopied,
             (unsigned long long)M[I].NumGC,
+            M[I].MinorPauseP99Us, M[I].MajorPauseP99Us,
             M[I].CopySec > 0 ? M[0].CopySec / M[I].CopySec : 0.0,
             M[I].GcSec > 0 ? M[0].GcSec / M[I].GcSec : 0.0,
+            // Speedups measured with more workers than hardware threads
+            // timeshare cores: they exercise the protocol, not scaling.
+            Cores != 0 && Threads[I] <= Cores ? "true" : "false",
             M[I].Valid ? "true" : "false");
         FirstRecord = false;
       }
     }
   }
   if (Json) {
-    std::fprintf(Json, "\n]\n");
+    std::fprintf(Json, "\n]}\n");
     std::fclose(Json);
     std::printf("\nwrote BENCH_parallel.json\n");
   }

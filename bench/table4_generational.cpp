@@ -31,7 +31,7 @@ int main(int Argc, char **Argv) {
   Table Space("Generational: collections, copying, frame depth (bottom)");
   Space.setHeader({"Program", "GCs k=1.5", "GCs k=2", "GCs k=4",
                    "Majors k=4", "Copied k=1.5", "Copied k=2", "Copied k=4",
-                   "Avg Frames"});
+                   "Avg Frames", "Minor p99 k=4", "Major p99 k=4"});
 
   for (const auto &W : allWorkloads()) {
     Measurement M[3];
@@ -51,7 +51,9 @@ int main(int Argc, char **Argv) {
                   formatString("%llu", (unsigned long long)M[2].NumMajorGC),
                   formatBytes(M[0].BytesCopied), formatBytes(M[1].BytesCopied),
                   formatBytes(M[2].BytesCopied),
-                  formatString("%.1f", M[2].AvgFrames)});
+                  formatString("%.1f", M[2].AvgFrames),
+                  pauseUs(M[2].MinorPauseP99Us),
+                  pauseUs(M[2].MajorPauseP99Us)});
   }
   Times.print(stdout);
   Space.print(stdout);

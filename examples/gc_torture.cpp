@@ -9,6 +9,10 @@
 // Usage:
 //   gc_torture [semispace|generational] [--markers] [--pretenure]
 //              [--cards] [--aged=N] [--budget=BYTES] [--scale=S]
+//              [--threads=N]
+//
+// Set TILGC_TRACE_OUT=<path> to write a chrome://tracing JSON of the last
+// workload's collections (each run overwrites the file).
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +49,8 @@ int main(int Argc, char **Argv) {
       C.BudgetBytes = static_cast<size_t>(std::atol(A + 9));
     else if (!std::strncmp(A, "--scale=", 8))
       Scale = std::atof(A + 8);
+    else if (!std::strncmp(A, "--threads=", 10))
+      C.GcThreads = static_cast<unsigned>(std::atoi(A + 10));
     else {
       std::fprintf(stderr, "unknown flag %s\n", A);
       return 2;

@@ -16,6 +16,7 @@
 #include "gc/GcStats.h"
 #include "heap/Space.h"
 #include "object/Object.h"
+#include "observe/GcTelemetry.h"
 #include "profile/HeapProfiler.h"
 #include "stack/RegisterFile.h"
 #include "stack/ShadowStack.h"
@@ -25,15 +26,20 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace tilgc {
 
-/// What a collector needs from the mutator: the root sources and the
-/// optional profiler. Non-owning.
+/// What a collector needs from the mutator: the root sources, the optional
+/// profiler, and any telemetry observers. Non-owning.
 struct CollectorEnv {
   ShadowStack *Stack = nullptr;
   RegisterFile *Regs = nullptr;
   HeapProfiler *Profiler = nullptr;
+  /// Registered before construction so observers see construction-time
+  /// telemetry too (pretenure-flip audits fire from the generational
+  /// collector's constructor).
+  std::vector<GcObserver *> Observers;
 };
 
 /// Abstract copying collector.
@@ -41,6 +47,8 @@ class Collector {
 public:
   explicit Collector(const CollectorEnv &Env) : Env(Env) {
     assert(Env.Stack && Env.Regs && "collector needs stack and registers");
+    for (GcObserver *O : Env.Observers)
+      Tel.addObserver(O);
   }
   virtual ~Collector();
 
@@ -82,6 +90,11 @@ public:
 
   GcStats &stats() { return Stats; }
   const GcStats &stats() const { return Stats; }
+
+  /// The per-collector telemetry plane: always-on pause histograms plus
+  /// armed-only event assembly and observer dispatch.
+  GcTelemetry &telemetry() { return Tel; }
+  const GcTelemetry &telemetry() const { return Tel; }
 
   /// Cumulative allocation in KB; objects record this at birth so the
   /// profiler can compute death ages.
@@ -155,13 +168,19 @@ protected:
   }
 
   /// Per-collection stack metrics (frame depth, Table 2's new frames).
+  /// Every call bumps FramesAtGCSamples alongside the sums, so the Table 2
+  /// averages stay correct even if some future collection path skips this
+  /// sampling (see GcStats::FramesAtGCSamples).
   void accountStackAtGC() {
     uint64_t Frames = Env.Stack->frameCount();
     Stats.FramesAtGCSum += Frames;
+    Stats.FramesAtGCSamples += 1;
     if (Frames > Stats.MaxFramesAtGC)
       Stats.MaxFramesAtGC = Frames;
     Stats.NewFramesSum += Frames - Env.Stack->minFramesSinceMark();
     Env.Stack->resetWaterMark();
+    if (GcEvent *Ev = Tel.currentEvent())
+      Ev->FramesAtGC = Frames;
   }
 
   /// Profiler death sweep of an evacuated space: every non-forwarded object
@@ -189,6 +208,7 @@ protected:
 
   CollectorEnv Env;
   GcStats Stats;
+  GcTelemetry Tel;
   RootSet Roots;
   ScanStats LastScan;
   /// Scratch for gatherRegRoots (capacity-reusing, at most NumRegisters).

@@ -35,6 +35,8 @@
 
 namespace tilgc {
 
+class GcTelemetry;
+
 /// One evacuation pass: forward roots with forwardSlot(), then drain().
 class Evacuator {
 public:
@@ -61,6 +63,10 @@ public:
     /// True when a nursery is among From: age-0 survivors count as having
     /// survived their first collection.
     bool CountSurvivedFirst = false;
+    /// Optional telemetry plane. The serial engine ignores it (the
+    /// collector's phase scopes cover it); the parallel engine stamps
+    /// per-worker spans into the in-flight event when armed.
+    GcTelemetry *Telemetry = nullptr;
   };
 
   explicit Evacuator(const Config &C);

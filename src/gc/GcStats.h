@@ -46,8 +46,14 @@ struct GcStats {
   uint64_t SlotsVisited = 0;
   uint64_t PlanWordsScanned = 0; ///< Compiled-scan bitmask words tested.
   uint64_t MaxFramesAtGC = 0;
-  uint64_t FramesAtGCSum = 0; ///< Divide by NumGC for the average depth.
+  uint64_t FramesAtGCSum = 0; ///< Numerator of the average stack depth.
   uint64_t NewFramesSum = 0;  ///< Table 2's "New Frames in Stack" numerator.
+  /// Collections that contributed to FramesAtGCSum/NewFramesSum — the
+  /// denominator of the Table 2 averages. Historically those averages
+  /// divided by NumGC, which silently skews the moment any collection
+  /// path stops sampling the stack (e.g. an LOS-triggered major); a
+  /// dedicated sample count pins numerator and denominator together.
+  uint64_t FramesAtGCSamples = 0;
 
   // Write-barrier accounting.
   uint64_t SSBEntriesProcessed = 0;
@@ -76,14 +82,20 @@ struct GcStats {
   double copySeconds() const { return CopyTime.seconds(); }
 
   double avgFramesAtGC() const {
-    return NumGC ? static_cast<double>(FramesAtGCSum) /
-                       static_cast<double>(NumGC)
-                 : 0.0;
+    return FramesAtGCSamples ? static_cast<double>(FramesAtGCSum) /
+                                   static_cast<double>(FramesAtGCSamples)
+                             : 0.0;
   }
   double avgNewFramesAtGC() const {
-    return NumGC ? static_cast<double>(NewFramesSum) /
-                       static_cast<double>(NumGC)
-                 : 0.0;
+    return FramesAtGCSamples ? static_cast<double>(NewFramesSum) /
+                                   static_cast<double>(FramesAtGCSamples)
+                             : 0.0;
+  }
+
+  /// Tolerated timer misuses across the three split timers (see
+  /// support/Timer.h's misuse discipline).
+  uint64_t timerMisuses() const {
+    return GcTime.misuses() + StackTime.misuses() + CopyTime.misuses();
   }
 };
 

@@ -44,6 +44,24 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
     PretenureFlag[Dec.SiteId] = Dec.EliminateScan ? 2 : 1;
   }
 
+  // Pretenuring audit: each PretenureFlag flip is reported with the
+  // promotion-rate evidence behind it (observers register via CollectorEnv
+  // before construction, so they see these).
+  if (TILGC_UNLIKELY(Tel.armed())) {
+    for (const PretenureDecision &Dec : Opts.Pretenure) {
+      PretenureAudit A;
+      A.SiteId = Dec.SiteId;
+      A.Pretenured = true;
+      A.EliminateScan = Dec.EliminateScan;
+      A.OldFraction = Dec.OldFraction;
+      A.Threshold = Dec.OldCutoff;
+      A.AllocBytes = Dec.AllocBytes;
+      A.AllocCount = Dec.AllocCount;
+      A.SurvivedFirstGC = Dec.SurvivedFirstCount;
+      Tel.notePretenureDecision(A);
+    }
+  }
+
   if (Opts.Barrier == BarrierKind::CardMarking)
     Cards.attach(*TenuredFrom);
   if (Opts.GcThreads > 1)
@@ -83,7 +101,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     if (footprintBytes() + Total > Opts.BudgetBytes &&
         LOSAllocSinceGC + Total >= Opts.BudgetBytes / 8) {
       TimerScope Gc(Stats.GcTime);
-      doMajor(0);
+      doMajor(0, GcTrigger::LargeObjectPressure);
       Collected = true;
     }
     // LOS backing storage comes straight from the host, so the hard cap is
@@ -93,7 +111,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
                        footprintBytes() + Total > Opts.HardLimitBytes)) {
       if (!Collected) {
         TimerScope Gc(Stats.GcTime);
-        doMajor(0);
+        doMajor(0, GcTrigger::LargeObjectPressure);
       }
       if (footprintBytes() + Total > Opts.HardLimitBytes)
         throwHeapExhausted(Total);
@@ -112,7 +130,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     if (TILGC_UNLIKELY(!Payload)) {
       {
         TimerScope Gc(Stats.GcTime);
-        doMajor(Total);
+        doMajor(Total, GcTrigger::PretenuredSiteFull);
       }
       Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
       if (TILGC_UNLIKELY(!Payload))
@@ -133,7 +151,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
   if (TILGC_UNLIKELY(!Payload)) {
     {
       TimerScope Gc(Stats.GcTime);
-      doMinor(0);
+      doMinor(0, GcTrigger::NurseryFull);
     }
     Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
     if (TILGC_UNLIKELY(!Payload)) {
@@ -143,7 +161,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
       // the nursery at all.
       {
         TimerScope Gc(Stats.GcTime);
-        doMajor(Total);
+        doMajor(Total, GcTrigger::OomLadder);
       }
       Payload = NurseryFrom->allocate(Descriptor, makeMeta(SiteId));
       if (TILGC_UNLIKELY(!Payload)) {
@@ -196,13 +214,14 @@ void GenerationalCollector::writeBarrier(Word *Slot) {
 void GenerationalCollector::collect(bool Major) {
   TimerScope Gc(Stats.GcTime);
   if (Major)
-    doMajor(0);
+    doMajor(0, GcTrigger::Explicit);
   else
-    doMinor(0);
+    doMinor(0, GcTrigger::Explicit);
 }
 
 void GenerationalCollector::scanStackForRoots() {
   TimerScope T(Stats.StackTime);
+  GcTelemetry::PhaseScope PS(Tel, GcPhase::StackScan);
   LastScan = ScanStats();
   bool UseMarkers = Opts.UseStackMarkers;
   StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
@@ -213,6 +232,10 @@ void GenerationalCollector::scanStackForRoots() {
   Stats.SlotsVisited += LastScan.SlotsVisited;
   Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
   gatherRegRoots();
+  if (GcEvent *Ev = Tel.currentEvent()) {
+    Ev->FramesScanned = LastScan.FramesScanned;
+    Ev->FramesReused = LastScan.FramesReused;
+  }
 }
 
 void GenerationalCollector::notePretenuredRun(Word *Payload, Word Descriptor,
@@ -277,7 +300,8 @@ void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
     forEachPointerField(Payload, [&](Word *Field) { Fn(Field); });
 }
 
-void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
+void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
+                                    GcTrigger Trigger) {
   FaultInjector::ScopedGcPhase GcPhase;
   if (TILGC_UNLIKELY(effectiveVerifyLevel() >= 2))
     auditRememberedSets();
@@ -289,11 +313,14 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     MinorNeed += ParallelEvacuator::reserveSlackBytes(
         NurseryFrom->usedBytes(), Opts.GcThreads);
   if (TenuredFrom->freeBytes() < MinorNeed) {
-    doMajor(NeedTenuredBytes);
+    // The minor never starts: the chained major is the whole collection
+    // (and the only telemetry event).
+    doMajor(NeedTenuredBytes, GcTrigger::TenuredPressure);
     return;
   }
 
   ++Stats.NumGC;
+  Tel.beginCollection(GcGeneration::Minor, Trigger, Stats.NumGC);
   accountStackAtGC();
   scanStackForRoots();
 
@@ -310,6 +337,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
   C.TraceLOS = false;
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
+  C.Telemetry = &Tel;
 
   // Batched root pipeline: gather the heap-side roots (barrier output,
   // pretenured regions, new large objects) into one contiguous span, then
@@ -318,11 +346,15 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
   // heap batch. Every gathered slot address is stable during a minor
   // collection (the slots live outside the nursery), so gather-then-forward
   // is equivalent to forwarding during enumeration.
+  uint64_t SsbBefore = Stats.SSBEntriesProcessed;
   {
     TimerScope T(Stats.StackTime); // Root gathering.
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::SsbFilter);
     RootBatch.clear();
     forEachOldToYoungRoot([&](Word *Slot) { RootBatch.push_back(Slot); });
   }
+  if (GcEvent *Ev = Tel.currentEvent())
+    Ev->SsbEntriesProcessed = Stats.SSBEntriesProcessed - SsbBefore;
 
   // Promote-all + markers: roots in unchanged frames were redirected to
   // the tenured generation by the previous collection and cannot point
@@ -340,10 +372,12 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     }
   }
 
+  uint64_t TenuredUsedBefore = TenuredFrom->usedBytes();
   if (Pool) {
     ParallelEvacuator E(C, *Pool);
     {
       TimerScope T(Stats.StackTime); // Root hand-off.
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
       E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
       E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
       if (ProcessReused)
@@ -354,6 +388,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     }
     {
       TimerScope T(Stats.CopyTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
       E.run();
     }
     Stats.BytesCopied += E.bytesCopied();
@@ -361,10 +396,18 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     Stats.EvacWorkerFaults += E.workerFaults();
     if (E.workerFaults())
       ++Stats.EvacSerialRecoveries;
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->BytesCopied = E.bytesCopied();
+      Ev->ObjectsCopied = E.objectsCopied();
+      Ev->Workers = Opts.GcThreads;
+      Ev->WorkerFaults = E.workerFaults();
+      Ev->SerialRecovery = E.workerFaults() > 0;
+    }
   } else {
     Evacuator E(C);
     {
       TimerScope T(Stats.StackTime); // Root processing.
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
       E.forwardRootSpan(Roots.FreshSlotRoots.data(),
                         Roots.FreshSlotRoots.size());
       E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
@@ -376,10 +419,15 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
     }
     {
       TimerScope T(Stats.CopyTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
       E.drain();
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->BytesCopied = E.bytesCopied();
+      Ev->ObjectsCopied = E.objectsCopied();
+    }
   }
 
   if (AgedTenuring()) {
@@ -391,18 +439,21 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
         CrossGenSlots.push_back(Slot);
   }
 
-  sweepDeaths(*NurseryFrom);
-  NurseryFrom->reset();
-  if (TILGC_UNLIKELY(shouldPoison()))
-    NurseryFrom->poisonFreeSpace();
-  if (AgedTenuring())
-    std::swap(NurseryFrom, NurseryTo);
+  {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
+    sweepDeaths(*NurseryFrom);
+    NurseryFrom->reset();
+    if (TILGC_UNLIKELY(shouldPoison()))
+      NurseryFrom->poisonFreeSpace();
+    if (AgedTenuring())
+      std::swap(NurseryFrom, NurseryTo);
 
-  SSB.clear();
-  Cards.clear();
-  LOSDirtySlots.clear();
-  Runs.clear();
-  NewLargeObjects.clear();
+    SSB.clear();
+    Cards.clear();
+    LOSDirtySlots.clear();
+    Runs.clear();
+    NewLargeObjects.clear();
+  }
 
   LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes() +
               (AgedTenuring() ? NurseryFrom->usedBytes() : 0);
@@ -411,10 +462,21 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes) {
 
   maybeVerifyHeap("minor");
 
+  if (GcEvent *Ev = Tel.currentEvent()) {
+    // Promote-all minors put every survivor in the tenured generation;
+    // under aged tenuring (or parallel pad waste) the tenured used-delta is
+    // the truthful figure either way.
+    Ev->BytesPromoted = TenuredFrom->usedBytes() - TenuredUsedBefore;
+    Ev->BytesPretenured = Stats.PretenuredBytes - PretenuredBytesAtLastGC;
+  }
+  PretenuredBytesAtLastGC = Stats.PretenuredBytes;
+  Tel.endCollection();
+
   // Tenured pressure: if the next nursery-load might not fit, collect the
-  // old generation now.
+  // old generation now (a separate telemetry event — the minor's is
+  // closed).
   if (TenuredFrom->freeBytes() < NurseryFrom->capacityBytes())
-    doMajor(0);
+    doMajor(0, GcTrigger::TenuredPressure);
 }
 
 bool GenerationalCollector::shouldPoison() const {
@@ -487,7 +549,8 @@ void GenerationalCollector::auditRememberedSets() {
   LOS.walk([&](Word *Payload, Word) { CheckFields(Payload, "LOS"); });
 }
 
-void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
+void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
+                                    GcTrigger Trigger) {
   FaultInjector::ScopedGcPhase GcPhase;
 
   // TenuredTo has sat idle since the last major; if it was left poisoned,
@@ -523,11 +586,14 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
 
   ++Stats.NumGC;
   ++Stats.NumMajorGC;
+  Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
   accountStackAtGC();
   scanStackForRoots();
 
-  if (TenuredTo->capacityBytes() < Reserve)
+  if (TenuredTo->capacityBytes() < Reserve) {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
     TenuredTo->reserve(Reserve);
+  }
 
   Evacuator::Config C;
   C.From = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr, TenuredFrom};
@@ -536,6 +602,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
   C.TraceLOS = true;
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
+  C.Telemetry = &Tel;
 
   // Everything moves in a major collection: reused roots are processed,
   // the saving is only the avoided re-decoding of unchanged frames.
@@ -543,6 +610,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     ParallelEvacuator E(C, *Pool);
     {
       TimerScope T(Stats.StackTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
       E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
       E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
       E.addRootSpan(Roots.ReusedSlotRoots.data(),
@@ -550,6 +618,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     }
     {
       TimerScope T(Stats.CopyTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
       E.run();
     }
     Stats.BytesCopied += E.bytesCopied();
@@ -557,10 +626,18 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     Stats.EvacWorkerFaults += E.workerFaults();
     if (E.workerFaults())
       ++Stats.EvacSerialRecoveries;
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->BytesCopied = E.bytesCopied();
+      Ev->ObjectsCopied = E.objectsCopied();
+      Ev->Workers = Opts.GcThreads;
+      Ev->WorkerFaults = E.workerFaults();
+      Ev->SerialRecovery = E.workerFaults() > 0;
+    }
   } else {
     Evacuator E(C);
     {
       TimerScope T(Stats.StackTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
       E.forwardRootSpan(Roots.FreshSlotRoots.data(),
                         Roots.FreshSlotRoots.size());
       E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
@@ -569,79 +646,93 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes) {
     }
     {
       TimerScope T(Stats.CopyTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
       E.drain();
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
-  }
-
-  // Sweep the large-object space and account deaths.
-  uint64_t NowKB = allocStampKB();
-  LOS.sweep([&](Word *Payload, Word Descriptor) {
-    (void)Descriptor;
-    if (Env.Profiler) {
-      Word Meta = metaOf(Payload);
-      Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->BytesCopied = E.bytesCopied();
+      Ev->ObjectsCopied = E.objectsCopied();
     }
-  });
-  sweepDeaths(*NurseryFrom);
-  if (AgedTenuring())
-    sweepDeaths(*NurseryTo);
-  sweepDeaths(*TenuredFrom);
-
-  NurseryFrom->reset();
-  if (AgedTenuring())
-    NurseryTo->reset();
-  SSB.clear();
-  LOSDirtySlots.clear();
-  Runs.clear();
-  NewLargeObjects.clear();
-  CrossGenSlots.clear(); // A major promotes everything: no old->young left.
-
-  std::swap(TenuredFrom, TenuredTo);
-  LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes();
-  if (LiveBytes > Stats.MaxLiveBytes)
-    Stats.MaxLiveBytes = LiveBytes;
-
-  // Resize the now-empty to-space toward the target liveness ratio within
-  // the memory budget (the live space's capacity catches up next major).
-  size_t NurseryFoot =
-      NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1);
-  size_t Desired = static_cast<size_t>(static_cast<double>(LiveBytes) /
-                                       Opts.TenuredTargetLiveness);
-  size_t MinSize = TenuredFrom->usedBytes() + NurseryFrom->capacityBytes() +
-                   NeedTenuredBytes + (16u << 10);
-  size_t MaxSize = MinSize;
-  size_t NonTenured = NurseryFoot + LOS.liveBytes();
-  if (Opts.BudgetBytes > NonTenured + 2 * MinSize)
-    MaxSize = (Opts.BudgetBytes - NonTenured) / 2;
-  else
-    ++Stats.BudgetOverruns;
-  Desired = std::clamp(Desired, MinSize, MaxSize);
-  // Under a hard cap, never reserve a to-space the cap could not absorb at
-  // the next major — but never below MinSize either (this allocation
-  // already succeeded; if MinSize itself breaches the cap, the next
-  // major's pre-flight throws before moving anything).
-  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
-    size_t Standing = NonTenured + TenuredFrom->capacityBytes();
-    size_t Room =
-        Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
-    Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
   }
-  TenuredTo->reserve(Desired);
 
-  if (TILGC_UNLIKELY(shouldPoison())) {
-    NurseryFrom->poisonFreeSpace();
+  {
+    GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+
+    // Sweep the large-object space and account deaths.
+    uint64_t NowKB = allocStampKB();
+    LOS.sweep([&](Word *Payload, Word Descriptor) {
+      (void)Descriptor;
+      if (Env.Profiler) {
+        Word Meta = metaOf(Payload);
+        Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+      }
+    });
+    sweepDeaths(*NurseryFrom);
     if (AgedTenuring())
-      NurseryTo->poisonFreeSpace();
-    TenuredTo->poisonFreeSpace();
-    TenuredToPoisonValid = true;
-  }
+      sweepDeaths(*NurseryTo);
+    sweepDeaths(*TenuredFrom);
 
-  if (Opts.Barrier == BarrierKind::CardMarking)
-    Cards.attach(*TenuredFrom);
-  LOSAllocSinceGC = 0;
+    NurseryFrom->reset();
+    if (AgedTenuring())
+      NurseryTo->reset();
+    SSB.clear();
+    LOSDirtySlots.clear();
+    Runs.clear();
+    NewLargeObjects.clear();
+    CrossGenSlots.clear(); // A major promotes everything: no old->young left.
+
+    std::swap(TenuredFrom, TenuredTo);
+    LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes();
+    if (LiveBytes > Stats.MaxLiveBytes)
+      Stats.MaxLiveBytes = LiveBytes;
+
+    // Resize the now-empty to-space toward the target liveness ratio within
+    // the memory budget (the live space's capacity catches up next major).
+    size_t NurseryFoot =
+        NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1);
+    size_t Desired = static_cast<size_t>(static_cast<double>(LiveBytes) /
+                                         Opts.TenuredTargetLiveness);
+    size_t MinSize = TenuredFrom->usedBytes() + NurseryFrom->capacityBytes() +
+                     NeedTenuredBytes + (16u << 10);
+    size_t MaxSize = MinSize;
+    size_t NonTenured = NurseryFoot + LOS.liveBytes();
+    if (Opts.BudgetBytes > NonTenured + 2 * MinSize)
+      MaxSize = (Opts.BudgetBytes - NonTenured) / 2;
+    else
+      ++Stats.BudgetOverruns;
+    Desired = std::clamp(Desired, MinSize, MaxSize);
+    // Under a hard cap, never reserve a to-space the cap could not absorb at
+    // the next major — but never below MinSize either (this allocation
+    // already succeeded; if MinSize itself breaches the cap, the next
+    // major's pre-flight throws before moving anything).
+    if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+      size_t Standing = NonTenured + TenuredFrom->capacityBytes();
+      size_t Room =
+          Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
+      Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
+    }
+    TenuredTo->reserve(Desired);
+
+    if (TILGC_UNLIKELY(shouldPoison())) {
+      NurseryFrom->poisonFreeSpace();
+      if (AgedTenuring())
+        NurseryTo->poisonFreeSpace();
+      TenuredTo->poisonFreeSpace();
+      TenuredToPoisonValid = true;
+    }
+
+    if (Opts.Barrier == BarrierKind::CardMarking)
+      Cards.attach(*TenuredFrom);
+    LOSAllocSinceGC = 0;
+  }
   maybeVerifyHeap("major");
+
+  if (GcEvent *Ev = Tel.currentEvent())
+    Ev->BytesPretenured = Stats.PretenuredBytes - PretenuredBytesAtLastGC;
+  PretenuredBytesAtLastGC = Stats.PretenuredBytes;
+  Tel.endCollection();
 }
 
 void GenerationalCollector::appendHeapState(std::string &Out) const {

@@ -158,9 +158,9 @@ private:
 
   /// One minor collection; may chain into a major one under tenured
   /// pressure. \p NeedTenuredBytes is extra tenured room the caller
-  /// requires afterwards.
-  void doMinor(size_t NeedTenuredBytes);
-  void doMajor(size_t NeedTenuredBytes);
+  /// requires afterwards; \p Trigger is recorded in the telemetry event.
+  void doMinor(size_t NeedTenuredBytes, GcTrigger Trigger);
+  void doMajor(size_t NeedTenuredBytes, GcTrigger Trigger);
 
   /// Scans the stack into Roots, accounting time and counters.
   void scanStackForRoots();
@@ -251,6 +251,9 @@ private:
 
   uint64_t LiveBytes = 0;
   uint64_t LOSAllocSinceGC = 0;
+  /// Stats.PretenuredBytes watermark at the end of the previous collection;
+  /// the telemetry event reports the per-collection delta.
+  uint64_t PretenuredBytesAtLastGC = 0;
   /// True while TenuredTo sits idle fully poisoned (checked for wild
   /// writes at the next major's entry).
   bool TenuredToPoisonValid = false;

@@ -6,6 +6,7 @@
 
 #include "gc/ParallelEvacuator.h"
 
+#include "observe/GcTelemetry.h"
 #include "support/Fatal.h"
 #include "support/FaultInjector.h"
 
@@ -303,9 +304,12 @@ void ParallelEvacuator::faultCheck() {
 }
 
 void ParallelEvacuator::workerMain(unsigned Index) {
+  if (TILGC_UNLIKELY(StampWorkers))
+    Workers[Index]->TelBeginNs = GcTelemetry::nowNs();
   try {
     workerBody(Index);
   } catch (...) {
+    Workers[Index]->Faulted = true;
     // A faulted worker abandons its in-flight work — unforwarded root
     // slice, pending span, local gray backlog, overflow list, deque — to
     // the post-join serial recovery and leaves the termination protocol.
@@ -315,6 +319,8 @@ void ParallelEvacuator::workerMain(unsigned Index) {
     NumFaults.fetch_add(1, std::memory_order_relaxed);
     NumActive.fetch_sub(1, std::memory_order_acq_rel);
   }
+  if (TILGC_UNLIKELY(StampWorkers))
+    Workers[Index]->TelEndNs = GcTelemetry::nowNs();
 }
 
 void ParallelEvacuator::workerBody(unsigned Index) {
@@ -427,6 +433,9 @@ void ParallelEvacuator::run() {
   }
   NumActive.store(N, std::memory_order_relaxed);
   NumFaults.store(0, std::memory_order_relaxed);
+  // Decide worker stamping once, before the pool starts: workers read
+  // StampWorkers as a plain bool, so it must not change mid-pass.
+  StampWorkers = C.Telemetry && C.Telemetry->currentEvent() != nullptr;
   Pool.runOnAll([this](unsigned I) { workerMain(I); });
 
   // Faulted workers left work behind; finish it single-threaded before the
@@ -454,5 +463,26 @@ void ParallelEvacuator::run() {
     if (C.CrossGenOut)
       C.CrossGenOut->insert(C.CrossGenOut->end(), W.CrossGen.begin(),
                             W.CrossGen.end());
+  }
+
+  // Telemetry merge, on the controlling thread after the join: per-worker
+  // spans into the in-flight event, one onWorkerFault per faulted worker.
+  if (TILGC_UNLIKELY(StampWorkers)) {
+    if (GcEvent *Ev = C.Telemetry->currentEvent()) {
+      for (unsigned I = 0; I < N; ++I) {
+        Worker &W = *Workers[I];
+        GcWorkerSpan S;
+        S.Index = I;
+        S.BeginNs = W.TelBeginNs;
+        S.EndNs = W.TelEndNs;
+        S.BytesCopied = W.BytesCopied;
+        S.ObjectsCopied = W.ObjectsCopied;
+        S.Faulted = W.Faulted;
+        Ev->WorkerSpans.push_back(S);
+      }
+    }
+    for (unsigned I = 0; I < N; ++I)
+      if (Workers[I]->Faulted)
+        C.Telemetry->noteWorkerFault(I);
   }
 }

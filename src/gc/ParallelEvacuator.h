@@ -151,6 +151,12 @@ private:
     std::unique_ptr<HeapProfiler> Prof;
     uint64_t BytesCopied = 0;
     uint64_t ObjectsCopied = 0;
+    /// Telemetry span stamps (only written when the pass stamps workers —
+    /// an armed telemetry plane was configured). Written by the worker
+    /// itself, read by the controlling thread after the pool joins.
+    uint64_t TelBeginNs = 0;
+    uint64_t TelEndNs = 0;
+    bool Faulted = false;
     uint32_t Seed = 0;
     size_t RootBegin = 0;
     size_t RootEnd = 0;
@@ -212,6 +218,9 @@ private:
   /// genuine OOM mid-evacuation and must die structurally rather than
   /// re-throwing into a recovery that cannot recover itself.
   bool InRecovery = false;
+  /// Workers stamp begin/end telemetry spans this pass (decided once in
+  /// run(), before the pool starts, so workers read a stable value).
+  bool StampWorkers = false;
   uint64_t TotalBytesCopied = 0;
   uint64_t TotalObjectsCopied = 0;
 };

@@ -43,7 +43,7 @@ Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
   Word Meta = makeMeta(SiteId);
   Word *Payload = Active->allocate(Descriptor, Meta);
   if (TILGC_UNLIKELY(!Payload)) {
-    collectInternal(objectTotalBytes(Descriptor));
+    collectInternal(objectTotalBytes(Descriptor), GcTrigger::SpaceFull);
     // Remake the metadata: the birth stamp may have ticked past a KB
     // boundary, and more importantly the collection consumed the old one.
     Meta = makeMeta(SiteId);
@@ -61,10 +61,10 @@ Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
 
 void SemispaceCollector::collect(bool Major) {
   (void)Major; // Semispace collections are always full collections.
-  collectInternal(0);
+  collectInternal(0, GcTrigger::Explicit);
 }
 
-void SemispaceCollector::collectInternal(size_t NeedBytes) {
+void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
   TimerScope GcScope(Stats.GcTime);
   FaultInjector::ScopedGcPhase GcPhase;
 
@@ -102,11 +102,13 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
 
   ++Stats.NumGC;
   ++Stats.NumMajorGC;
+  Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
   accountStackAtGC();
 
   // Root scan.
   {
     TimerScope StackScope(Stats.StackTime);
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::StackScan);
     LastScan = ScanStats();
     bool UseMarkers = Opts.UseStackMarkers;
     StackScanner::scan(*Env.Stack, *Env.Regs, UseMarkers ? &Markers : nullptr,
@@ -117,9 +119,14 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     Stats.SlotsVisited += LastScan.SlotsVisited;
     Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
     gatherRegRoots();
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->FramesScanned = LastScan.FramesScanned;
+      Ev->FramesReused = LastScan.FramesReused;
+    }
   }
 
   if (Inactive->capacityBytes() < WorstCase) {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
     if (WorstCase * 2 > Opts.BudgetBytes)
       ++Stats.BudgetOverruns;
     Inactive->reserve(WorstCase);
@@ -134,26 +141,54 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
     C.Dest = Inactive;
     C.Profiler = Env.Profiler;
     C.CountSurvivedFirst = true;
+    C.Telemetry = &Tel;
     // Batched root pipeline: whole spans, in the serial engine's order.
     if (Pool) {
       ParallelEvacuator E(C, *Pool);
-      E.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
-      E.addRootSpan(Roots.ReusedSlotRoots.data(),
-                    Roots.ReusedSlotRoots.size());
-      E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
-      E.run();
+      {
+        GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
+        E.addRootSpan(Roots.FreshSlotRoots.data(),
+                      Roots.FreshSlotRoots.size());
+        E.addRootSpan(Roots.ReusedSlotRoots.data(),
+                      Roots.ReusedSlotRoots.size());
+        E.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      }
+      {
+        GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
+        E.run();
+      }
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();
+      Stats.EvacWorkerFaults += E.workerFaults();
+      if (E.workerFaults())
+        ++Stats.EvacSerialRecoveries;
+      if (GcEvent *Ev = Tel.currentEvent()) {
+        Ev->BytesCopied = E.bytesCopied();
+        Ev->ObjectsCopied = E.objectsCopied();
+        Ev->Workers = Opts.GcThreads;
+        Ev->WorkerFaults = E.workerFaults();
+        Ev->SerialRecovery = E.workerFaults() > 0;
+      }
     } else {
       Evacuator E(C);
-      E.forwardRootSpan(Roots.FreshSlotRoots.data(),
-                        Roots.FreshSlotRoots.size());
-      E.forwardRootSpan(Roots.ReusedSlotRoots.data(),
-                        Roots.ReusedSlotRoots.size());
-      E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
-      E.drain();
+      {
+        GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
+        E.forwardRootSpan(Roots.FreshSlotRoots.data(),
+                          Roots.FreshSlotRoots.size());
+        E.forwardRootSpan(Roots.ReusedSlotRoots.data(),
+                          Roots.ReusedSlotRoots.size());
+        E.forwardRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+      }
+      {
+        GcTelemetry::PhaseScope PS(Tel, GcPhase::Copy);
+        E.drain();
+      }
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();
+      if (GcEvent *Ev = Tel.currentEvent()) {
+        Ev->BytesCopied = E.bytesCopied();
+        Ev->ObjectsCopied = E.objectsCopied();
+      }
     }
   }
 
@@ -166,31 +201,35 @@ void SemispaceCollector::collectInternal(size_t NeedBytes) {
   // Swap and resize. Resizing toward r = TargetLiveness means sizing each
   // semispace at live/r; the empty space is resized now, the full one
   // catches up at the next collection.
-  std::swap(Active, Inactive);
-  size_t Desired = static_cast<size_t>(
-      static_cast<double>(LiveBytes) / Opts.TargetLiveness);
-  size_t MinSize = LiveBytes + NeedBytes + (4u << 10);
-  size_t MaxSize = std::max<size_t>(Opts.BudgetBytes / 2, MinSize);
-  Desired = std::clamp(Desired, MinSize, MaxSize);
-  // Under a hard cap, never reserve an empty space the cap could not
-  // absorb — but never below MinSize (this collection already succeeded;
-  // the next one's pre-flight throws if MinSize itself breaches the cap).
-  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
-    size_t Room = Opts.HardLimitBytes > Active->capacityBytes()
-                      ? Opts.HardLimitBytes - Active->capacityBytes()
-                      : 0;
-    Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
-  }
-  Inactive->reserve(Desired);
-  // Shrink the live space too (soft limit): a factor below 1 must take
-  // effect even though the storage cannot be reallocated under the data.
-  Active->setSoftLimitBytes(Desired);
+  {
+    GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+    std::swap(Active, Inactive);
+    size_t Desired = static_cast<size_t>(
+        static_cast<double>(LiveBytes) / Opts.TargetLiveness);
+    size_t MinSize = LiveBytes + NeedBytes + (4u << 10);
+    size_t MaxSize = std::max<size_t>(Opts.BudgetBytes / 2, MinSize);
+    Desired = std::clamp(Desired, MinSize, MaxSize);
+    // Under a hard cap, never reserve an empty space the cap could not
+    // absorb — but never below MinSize (this collection already succeeded;
+    // the next one's pre-flight throws if MinSize itself breaches the cap).
+    if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+      size_t Room = Opts.HardLimitBytes > Active->capacityBytes()
+                        ? Opts.HardLimitBytes - Active->capacityBytes()
+                        : 0;
+      Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
+    }
+    Inactive->reserve(Desired);
+    // Shrink the live space too (soft limit): a factor below 1 must take
+    // effect even though the storage cannot be reallocated under the data.
+    Active->setSoftLimitBytes(Desired);
 
-  if (TILGC_UNLIKELY(shouldPoison())) {
-    Inactive->poisonFreeSpace();
-    InactivePoisonValid = true;
+    if (TILGC_UNLIKELY(shouldPoison())) {
+      Inactive->poisonFreeSpace();
+      InactivePoisonValid = true;
+    }
   }
   maybeVerifyHeap();
+  Tel.endCollection();
 }
 
 bool SemispaceCollector::shouldPoison() const {

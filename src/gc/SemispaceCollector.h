@@ -89,8 +89,8 @@ private:
   /// Runs one collection, guaranteeing at least \p NeedBytes of free space
   /// afterwards (growing past the budget if unavoidable — unless a hard
   /// limit is set, in which case it throws HeapExhausted *before* moving
-  /// anything).
-  void collectInternal(size_t NeedBytes);
+  /// anything). \p Trigger is recorded in the telemetry event.
+  void collectInternal(size_t NeedBytes, GcTrigger Trigger);
 
   /// Whether this collection should poison the evacuated from-space.
   bool shouldPoison() const;

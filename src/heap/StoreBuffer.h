@@ -27,6 +27,12 @@ namespace tilgc {
 /// An unconditional, duplicate-keeping log of mutated pointer slots.
 class StoreBuffer {
 public:
+  /// Shrink policy floor: capacity never drops below this, so steady-state
+  /// workloads (the collector pre-sizes to exactly this) never reallocate.
+  static constexpr size_t ShrinkFloorEntries = 4096;
+  /// Consecutive low-fill clears before one halving step.
+  static constexpr unsigned ShrinkAfterClears = 8;
+
   /// Records that the pointer slot at \p Slot was updated.
   void record(Word *Slot) {
     Entries.push_back(Slot);
@@ -35,17 +41,47 @@ public:
 
   const std::vector<Word *> &entries() const { return Entries; }
 
-  /// Discards the logged entries (called after each collection). Keeps the
-  /// capacity: the buffer refills to a similar size every mutator epoch,
-  /// and duplicate-keeping semantics (the Peg pathology) are unchanged —
-  /// only the reallocation churn goes away.
-  void clear() { Entries.clear(); }
+  /// Discards the logged entries (called after each collection).
+  ///
+  /// Capacity is kept across clears so a buffer that refills to a similar
+  /// size every mutator epoch never reallocates — but not forever: one
+  /// Peg-style flood (millions of entries ≈ tens of MB) used to pin the
+  /// high-water allocation for the process lifetime. After
+  /// ShrinkAfterClears consecutive collections below 25% fill the capacity
+  /// is halved (never below ShrinkFloorEntries), so the retained memory
+  /// decays geometrically once the flood subsides. Duplicate-keeping
+  /// semantics are unchanged — this touches only the backing allocation.
+  void clear() {
+    bool LowFill = Entries.capacity() > ShrinkFloorEntries &&
+                   Entries.size() < Entries.capacity() / 4;
+    Entries.clear();
+    if (!LowFill) {
+      LowFillClears = 0;
+      return;
+    }
+    if (++LowFillClears < ShrinkAfterClears)
+      return;
+    size_t NewCap = Entries.capacity() / 2;
+    if (NewCap < ShrinkFloorEntries)
+      NewCap = ShrinkFloorEntries;
+    std::vector<Word *> Fresh;
+    Fresh.reserve(NewCap);
+    Entries.swap(Fresh);
+    LowFillClears = 0;
+    ++ShrinkCount;
+  }
 
   /// Pre-sizes the log (the collector calls this once at startup).
   void reserve(size_t NumEntries) { Entries.reserve(NumEntries); }
 
   /// Number of entries currently pending.
   size_t size() const { return Entries.size(); }
+
+  /// Current backing capacity in entries (shrink-policy introspection).
+  size_t capacityEntries() const { return Entries.capacity(); }
+
+  /// Times the shrink policy halved the backing allocation.
+  uint64_t shrinks() const { return ShrinkCount; }
 
   /// Lifetime count of recorded updates (Table 2's "Number of Pointer
   /// Updates" column).
@@ -54,6 +90,8 @@ public:
 private:
   std::vector<Word *> Entries;
   uint64_t TotalRecorded = 0;
+  uint64_t ShrinkCount = 0;
+  unsigned LowFillClears = 0;
 };
 
 } // namespace tilgc

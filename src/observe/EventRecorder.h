@@ -1,0 +1,87 @@
+//===- observe/EventRecorder.h - Bounded in-memory GC recorder --*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GcObserver that keeps the last N collection events (plus every
+/// pretenure audit and worker fault — those are rare and small) in a
+/// fixed-capacity ring. The memory bound is Capacity events regardless of
+/// how long the process runs; once full, the oldest event is overwritten
+/// and counted in dropped(). The trace exporter reads recorded events
+/// oldest-first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_OBSERVE_EVENTRECORDER_H
+#define TILGC_OBSERVE_EVENTRECORDER_H
+
+#include "observe/GcObserver.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace tilgc {
+
+class EventRecorder : public GcObserver {
+public:
+  struct WorkerFault {
+    uint64_t Seq = 0;
+    uint32_t WorkerIndex = 0;
+  };
+
+  explicit EventRecorder(size_t Capacity = 4096)
+      : Cap(Capacity ? Capacity : 1) {
+    Ring.reserve(Cap < 64 ? Cap : 64);
+  }
+
+  void onGcEnd(const GcEvent &E) override {
+    if (Ring.size() < Cap) {
+      Ring.push_back(E);
+      return;
+    }
+    Ring[Head] = E;
+    Head = (Head + 1) % Cap;
+    Dropped++;
+  }
+
+  void onPretenureDecision(const PretenureAudit &A) override {
+    Audits.push_back(A);
+  }
+
+  void onWorkerFault(uint64_t Seq, uint32_t WorkerIndex) override {
+    Faults.push_back({Seq, WorkerIndex});
+  }
+
+  size_t capacity() const { return Cap; }
+  size_t size() const { return Ring.size(); }
+  /// Events overwritten after the ring filled.
+  uint64_t dropped() const { return Dropped; }
+
+  /// I-th retained event, oldest first.
+  const GcEvent &event(size_t I) const { return Ring[(Head + I) % Cap]; }
+
+  const std::vector<PretenureAudit> &audits() const { return Audits; }
+  const std::vector<WorkerFault> &faults() const { return Faults; }
+
+  void clear() {
+    Ring.clear();
+    Head = 0;
+    Dropped = 0;
+    Audits.clear();
+    Faults.clear();
+  }
+
+private:
+  size_t Cap;
+  size_t Head = 0;
+  uint64_t Dropped = 0;
+  std::vector<GcEvent> Ring;
+  std::vector<PretenureAudit> Audits;
+  std::vector<WorkerFault> Faults;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_OBSERVE_EVENTRECORDER_H

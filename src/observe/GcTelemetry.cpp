@@ -1,0 +1,127 @@
+//===- observe/GcTelemetry.cpp - Per-collector telemetry plane ------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/GcTelemetry.h"
+
+#include <chrono>
+
+namespace tilgc {
+
+const char *gcPhaseName(GcPhase P) {
+  switch (P) {
+  case GcPhase::StackScan:
+    return "stack-scan";
+  case GcPhase::SsbFilter:
+    return "ssb-filter";
+  case GcPhase::RootHandoff:
+    return "root-handoff";
+  case GcPhase::Copy:
+    return "copy";
+  case GcPhase::Resize:
+    return "resize";
+  }
+  return "?";
+}
+
+const char *gcTriggerName(GcTrigger T) {
+  switch (T) {
+  case GcTrigger::Explicit:
+    return "explicit";
+  case GcTrigger::NurseryFull:
+    return "nursery-full";
+  case GcTrigger::TenuredPressure:
+    return "tenured-pressure";
+  case GcTrigger::PretenuredSiteFull:
+    return "pretenured-site-full";
+  case GcTrigger::LargeObjectPressure:
+    return "large-object-pressure";
+  case GcTrigger::OomLadder:
+    return "oom-ladder";
+  case GcTrigger::SpaceFull:
+    return "space-full";
+  }
+  return "?";
+}
+
+const char *gcGenerationName(GcGeneration G) {
+  return G == GcGeneration::Minor ? "minor" : "major";
+}
+
+uint64_t GcTelemetry::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+void GcTelemetry::beginCollection(GcGeneration Gen, GcTrigger Trigger,
+                                  uint64_t Seq) {
+  InCollection = true;
+  if (TILGC_UNLIKELY(armed())) {
+    // Reset the event in place, keeping the WorkerSpans allocation.
+    Current.WorkerSpans.clear();
+    std::vector<GcWorkerSpan> Spans = std::move(Current.WorkerSpans);
+    Current = GcEvent();
+    Current.WorkerSpans = std::move(Spans);
+    Current.Seq = Seq;
+    Current.Gen = Gen;
+    Current.Trigger = Trigger;
+    Current.BeginNs = nowNs();
+    for (uint64_t &E : PhaseEnterNs)
+      E = 0;
+    for (GcObserver *O : Observers)
+      O->onGcBegin(Current);
+  } else {
+    // Disarmed: only what the always-on histogram needs.
+    Current.Gen = Gen;
+    Current.BeginNs = nowNs();
+  }
+}
+
+void GcTelemetry::endCollection() {
+  if (!InCollection)
+    return;
+  Current.EndNs = nowNs();
+  Current.PauseNs =
+      Current.EndNs >= Current.BeginNs ? Current.EndNs - Current.BeginNs : 0;
+  histogram(Current.Gen).record(Current.PauseNs);
+  if (TILGC_UNLIKELY(armed()))
+    for (GcObserver *O : Observers)
+      O->onGcEnd(Current);
+  InCollection = false;
+}
+
+void GcTelemetry::enterPhaseSlow(GcPhase P) {
+  unsigned I = static_cast<unsigned>(P);
+  uint64_t Now = nowNs();
+  PhaseEnterNs[I] = Now;
+  if (Current.PhaseBeginNs[I] == 0)
+    Current.PhaseBeginNs[I] = Now;
+}
+
+void GcTelemetry::exitPhaseSlow(GcPhase P) {
+  unsigned I = static_cast<unsigned>(P);
+  if (PhaseEnterNs[I] == 0)
+    return; // Exit without matching enter (armed mid-phase): ignore.
+  Current.PhaseDurNs[I] += nowNs() - PhaseEnterNs[I];
+  PhaseEnterNs[I] = 0;
+}
+
+void GcTelemetry::notePretenureDecision(const PretenureAudit &A) {
+  if (TILGC_UNLIKELY(armed()))
+    for (GcObserver *O : Observers)
+      O->onPretenureDecision(A);
+}
+
+void GcTelemetry::noteWorkerFault(uint32_t WorkerIndex) {
+  if (TILGC_UNLIKELY(armed()))
+    for (GcObserver *O : Observers)
+      O->onWorkerFault(Current.Seq, WorkerIndex);
+}
+
+} // namespace tilgc

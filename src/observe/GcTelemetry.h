@@ -1,0 +1,146 @@
+//===- observe/GcTelemetry.h - Per-collector telemetry plane ----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GcTelemetry is the per-collector hub of the observation plane: it owns
+/// the always-on pause histograms, assembles the in-flight GcEvent while a
+/// collection runs, and dispatches registered GcObservers.
+///
+/// Cost discipline (mirrors support/FaultInjector.h):
+///  - Nothing on the allocation path, ever.
+///  - Per collection with no observer: two steady_clock reads plus one
+///    histogram increment (the bench tables report pause percentiles
+///    unconditionally, so histograms cannot be gated), and one relaxed
+///    load deciding that everything else — phase stamps, event assembly,
+///    worker spans, callback dispatch — is skipped.
+///  - Phase scopes and worker stamps check `armed()` (relaxed) before
+///    touching the clock.
+///
+/// Threading: begin/end/phase/dispatch run only on the thread driving the
+/// collection. Parallel-evacuation workers stamp their own spans into
+/// worker-local storage; the controlling thread merges them after the
+/// pool joins, so observers never run concurrently with workers.
+/// Collections never nest (a pressure-chained major runs strictly before
+/// or after the minor's event window), so one in-flight event suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_OBSERVE_GCTELEMETRY_H
+#define TILGC_OBSERVE_GCTELEMETRY_H
+
+#include "observe/GcEvent.h"
+#include "observe/GcObserver.h"
+#include "observe/PauseHistogram.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tilgc {
+
+class GcTelemetry {
+public:
+  GcTelemetry() { Current.WorkerSpans.reserve(8); }
+
+  /// Monotonic nanoseconds since the first telemetry use in this process.
+  /// Static so evacuation workers can stamp spans without a telemetry
+  /// reference.
+  static uint64_t nowNs();
+
+  void addObserver(GcObserver *O) {
+    if (!O)
+      return;
+    Observers.push_back(O);
+    Armed.store(true, std::memory_order_relaxed);
+  }
+
+  /// True when at least one observer is registered. Relaxed: arming
+  /// happens before the mutator runs; workers only ever see a stable
+  /// value during a collection.
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  // --- Collection lifecycle --------------------------------------------
+
+  /// Open the event for collection number Seq (== GcStats::NumGC after the
+  /// increment). Always call it; the disarmed path only notes Gen and the
+  /// begin timestamp for the histogram.
+  void beginCollection(GcGeneration Gen, GcTrigger Trigger, uint64_t Seq);
+
+  /// Close the event: computes the pause, feeds the per-generation
+  /// histogram, and (armed) dispatches onGcEnd.
+  void endCollection();
+
+  /// The in-flight event, or nullptr outside a collection or when
+  /// disarmed. Collectors use this to fill counters without re-checking
+  /// armed() at every site.
+  GcEvent *currentEvent() {
+    return InCollection && armed() ? &Current : nullptr;
+  }
+
+  // --- Phase accounting -------------------------------------------------
+
+  void enterPhase(GcPhase P) {
+    if (TILGC_UNLIKELY(armed()) && InCollection)
+      enterPhaseSlow(P);
+  }
+  void exitPhase(GcPhase P) {
+    if (TILGC_UNLIKELY(armed()) && InCollection)
+      exitPhaseSlow(P);
+  }
+
+  /// RAII phase scope; no-op when disarmed.
+  class PhaseScope {
+  public:
+    PhaseScope(GcTelemetry &T, GcPhase P) : Tel(T), Phase(P) {
+      Tel.enterPhase(Phase);
+    }
+    ~PhaseScope() { Tel.exitPhase(Phase); }
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    GcTelemetry &Tel;
+    GcPhase Phase;
+  };
+
+  // --- Out-of-band notifications ---------------------------------------
+
+  /// Dispatch a pretenuring-flip audit record (armed only; the caller
+  /// fills the evidence).
+  void notePretenureDecision(const PretenureAudit &A);
+
+  /// Report a worker fault for the in-flight (or just-finished) event.
+  /// Called from the controlling thread after the pool joined.
+  void noteWorkerFault(uint32_t WorkerIndex);
+
+  // --- Always-on aggregates --------------------------------------------
+
+  const PauseHistogram &histogram(GcGeneration G) const {
+    return G == GcGeneration::Minor ? MinorPauses : MajorPauses;
+  }
+  PauseHistogram &histogram(GcGeneration G) {
+    return G == GcGeneration::Minor ? MinorPauses : MajorPauses;
+  }
+
+private:
+  void enterPhaseSlow(GcPhase P);
+  void exitPhaseSlow(GcPhase P);
+
+  std::atomic<bool> Armed{false};
+  std::vector<GcObserver *> Observers;
+
+  bool InCollection = false;
+  GcEvent Current;
+  uint64_t PhaseEnterNs[NumGcPhases] = {};
+
+  PauseHistogram MinorPauses;
+  PauseHistogram MajorPauses;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_OBSERVE_GCTELEMETRY_H

@@ -1,0 +1,129 @@
+//===- observe/PauseHistogram.h - log2 pause-time histogram -----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-bucket pause histogram. Buckets are powers of two of nanoseconds:
+/// bucket B holds pauses in [2^B, 2^(B+1)) ns, with bucket 0 also catching
+/// sub-1ns readings. 64 buckets cover every representable uint64 pause, so
+/// record() never saturates or drops. Alongside the buckets we keep exact
+/// min/max and the total count/sum, so min()/max() are exact and only the
+/// interior percentiles are bucket-resolution (~2x) estimates.
+///
+/// The histogram is always armed — it is one array increment per
+/// *collection* (never per allocation), which is the price the telemetry
+/// plane accepts for pause percentiles being available without any
+/// observer registered (the bench tables report p99 unconditionally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_OBSERVE_PAUSEHISTOGRAM_H
+#define TILGC_OBSERVE_PAUSEHISTOGRAM_H
+
+#include <cstdint>
+
+namespace tilgc {
+
+class PauseHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void record(uint64_t PauseNs) {
+    Buckets[bucketFor(PauseNs)]++;
+    Count++;
+    SumNs += PauseNs;
+    if (PauseNs < MinNs)
+      MinNs = PauseNs;
+    if (PauseNs > MaxNs)
+      MaxNs = PauseNs;
+  }
+
+  uint64_t count() const { return Count; }
+  uint64_t sumNs() const { return SumNs; }
+  uint64_t bucketCount(unsigned B) const {
+    return B < NumBuckets ? Buckets[B] : 0;
+  }
+
+  /// Exact extremes (0 when empty).
+  uint64_t minNs() const { return Count ? MinNs : 0; }
+  uint64_t maxNs() const { return Count ? MaxNs : 0; }
+
+  /// Percentile estimate: find the bucket holding the Q-quantile sample and
+  /// return its upper edge (a conservative "no worse than" figure),
+  /// clamped to the exact observed max. Q in [0,1].
+  uint64_t percentileNs(double Q) const {
+    if (Count == 0)
+      return 0;
+    if (Q <= 0.0)
+      return minNs();
+    // Rank of the percentile sample, 1-based, ceil(Q * Count).
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+    if (static_cast<double>(Rank) < Q * static_cast<double>(Count))
+      Rank++;
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Count)
+      Rank = Count;
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      Seen += Buckets[B];
+      if (Seen >= Rank) {
+        uint64_t Edge = upperEdgeNs(B);
+        return Edge < MaxNs ? Edge : MaxNs;
+      }
+    }
+    return MaxNs; // Unreachable: Seen reaches Count by the last bucket.
+  }
+
+  uint64_t p50Ns() const { return percentileNs(0.50); }
+  uint64_t p90Ns() const { return percentileNs(0.90); }
+  uint64_t p99Ns() const { return percentileNs(0.99); }
+  uint64_t meanNs() const { return Count ? SumNs / Count : 0; }
+
+  void reset() { *this = PauseHistogram(); }
+
+  /// Merge another histogram into this one (bench aggregation).
+  void merge(const PauseHistogram &O) {
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Buckets[B] += O.Buckets[B];
+    Count += O.Count;
+    SumNs += O.SumNs;
+    if (O.Count) {
+      if (O.MinNs < MinNs)
+        MinNs = O.MinNs;
+      if (O.MaxNs > MaxNs)
+        MaxNs = O.MaxNs;
+    }
+  }
+
+  static unsigned bucketFor(uint64_t PauseNs) {
+    if (PauseNs < 2)
+      return PauseNs ? 1 : 0; // [0,1) -> 0, [1,2) would be log2=0 too; keep
+                              // bucket 0 = {0}, bucket 1 = {1} for exactness
+                              // at the bottom where log2 degenerates.
+    unsigned B = 63 - static_cast<unsigned>(__builtin_clzll(PauseNs));
+    return B; // floor(log2), so value v lands in [2^B, 2^(B+1)).
+  }
+
+  /// Inclusive upper edge of bucket B (largest value that maps to it).
+  static uint64_t upperEdgeNs(unsigned B) {
+    if (B == 0)
+      return 0;
+    if (B >= 63)
+      return ~0ull;
+    return (1ull << (B + 1)) - 1;
+  }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t SumNs = 0;
+  uint64_t MinNs = ~0ull;
+  uint64_t MaxNs = 0;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_OBSERVE_PAUSEHISTOGRAM_H

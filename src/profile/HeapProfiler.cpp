@@ -72,7 +72,14 @@ HeapProfiler::derivePretenureSet(double OldCutoff, uint64_t MinObjects) const {
         break;
       }
     }
-    Decisions.push_back(PretenureDecision{Id, Closed});
+    PretenureDecision D{Id, Closed};
+    const SiteStats &S = Stats[Id];
+    D.OldFraction = S.oldFraction();
+    D.OldCutoff = OldCutoff;
+    D.AllocBytes = S.AllocBytes;
+    D.AllocCount = S.AllocCount;
+    D.SurvivedFirstCount = S.SurvivedFirstCount;
+    Decisions.push_back(D);
   }
   std::sort(Decisions.begin(), Decisions.end(),
             [](const PretenureDecision &A, const PretenureDecision &B) {

@@ -61,10 +61,20 @@ struct SiteStats {
   }
 };
 
-/// Derived pretenuring decisions (see gc/GenerationalCollector).
+/// Derived pretenuring decisions (see gc/GenerationalCollector), carrying
+/// the promotion-rate evidence that justified each one so the decision can
+/// be audited at runtime (the telemetry plane's onPretenureDecision hook).
+/// The evidence fields default to zero: hand-written decisions (tests,
+/// ablation configs) stay two-field aggregates.
 struct PretenureDecision {
   uint32_t SiteId;
   bool EliminateScan; ///< §7.2: referents are all pretenured too.
+  // --- Evidence (filled by derivePretenureSet) -------------------------
+  double OldFraction = 0.0;  ///< Observed survive-first fraction.
+  double OldCutoff = 0.0;    ///< The cutoff the fraction was tested against.
+  uint64_t AllocBytes = 0;   ///< Profiled bytes allocated at the site.
+  uint64_t AllocCount = 0;   ///< Profiled allocations at the site.
+  uint64_t SurvivedFirstCount = 0; ///< Objects surviving their first GC.
 };
 
 /// Accumulates per-site statistics during a profiled run.

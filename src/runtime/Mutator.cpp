@@ -6,7 +6,11 @@
 
 #include "runtime/Mutator.h"
 
+#include "observe/EventRecorder.h"
+#include "observe/TraceExporter.h"
 #include "support/Fatal.h"
+
+#include <cstdlib>
 
 using namespace tilgc;
 
@@ -14,10 +18,21 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
   if (Config.EnableProfiling)
     Profiler = std::make_unique<HeapProfiler>();
 
+  TracePath = Config.TraceOutPath;
+  if (TracePath.empty())
+    if (const char *P = std::getenv("TILGC_TRACE_OUT"))
+      TracePath = P;
+  if (!TracePath.empty())
+    Recorder = std::make_unique<EventRecorder>(Config.TelemetryRingEvents);
+
   CollectorEnv Env;
   Env.Stack = &Stack;
   Env.Regs = &Regs;
   Env.Profiler = Profiler.get();
+  if (Config.Observer)
+    Env.Observers.push_back(Config.Observer);
+  if (Recorder)
+    Env.Observers.push_back(Recorder.get());
 
   switch (Config.Kind) {
   case CollectorKind::Semispace: {
@@ -60,7 +75,10 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
   }
 }
 
-Mutator::~Mutator() = default;
+Mutator::~Mutator() {
+  if (Recorder && !TracePath.empty())
+    TraceExporter::writeFile(*Recorder, TracePath);
+}
 
 void Mutator::raise(Value Exn) {
   // An uncaught ML exception is a workload bug, but one that must die

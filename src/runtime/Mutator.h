@@ -53,6 +53,8 @@
 
 namespace tilgc {
 
+class EventRecorder;
+
 /// Which collector a mutator runs on.
 enum class CollectorKind { Semispace, Generational };
 
@@ -104,6 +106,16 @@ struct MutatorConfig {
   /// Evacuation threads: 1 = the serial engine (bit-identical paper
   /// reproduction); >1 = the work-stealing ParallelEvacuator.
   unsigned GcThreads = 1;
+  /// Telemetry observer to register with the collector (non-owning; must
+  /// outlive the mutator). Registering any observer arms per-collection
+  /// event assembly and phase stamps (see observe/GcTelemetry.h).
+  GcObserver *Observer = nullptr;
+  /// When nonempty, record collections in a bounded ring and write a
+  /// chrome://tracing JSON trace here at destruction. Empty falls back to
+  /// the TILGC_TRACE_OUT environment variable; both empty = no recording.
+  std::string TraceOutPath;
+  /// Ring capacity (events retained) for the trace recorder.
+  size_t TelemetryRingEvents = 4096;
 };
 
 /// The value an SML `raise` transports, plus the handler it targets. Thrown
@@ -274,6 +286,10 @@ public:
   GcStats &gcStats() { return GC->stats(); }
   const GcStats &gcStats() const { return GC->stats(); }
   Collector &collector() { return *GC; }
+  GcTelemetry &telemetry() { return GC->telemetry(); }
+  const GcTelemetry &telemetry() const { return GC->telemetry(); }
+  /// The trace recorder, present only when a trace path was configured.
+  EventRecorder *traceRecorder() { return Recorder.get(); }
   ShadowStack &stack() { return Stack; }
   RegisterFile &registers() { return Regs; }
   HeapProfiler *profiler() { return Profiler.get(); }
@@ -326,6 +342,11 @@ private:
   ShadowStack Stack;
   RegisterFile Regs;
   std::unique_ptr<HeapProfiler> Profiler;
+  /// Trace recording (TraceOutPath / TILGC_TRACE_OUT): the ring the
+  /// exporter serializes at destruction. Registered as an observer before
+  /// the collector is built so construction-time audits land in it too.
+  std::unique_ptr<EventRecorder> Recorder;
+  std::string TracePath;
   std::unique_ptr<Collector> GC;
   std::vector<HandlerEntry> Handlers;
   uint64_t NextHandlerId = 0;

@@ -10,54 +10,96 @@
 /// virtual timers; we use steady_clock, which preserves the shapes the
 /// evaluation cares about.
 ///
+/// Misuse discipline: the checks here used to be assert-only, which meant
+/// an NDEBUG build silently *discarded* accumulated time on a double
+/// start() and returned a stale total from seconds() mid-region.
+/// Consistent with the project's removal of NDEBUG-erased checks, misuse
+/// is now tolerated-and-counted in every build mode:
+///
+///  * start() on a running timer nests (a depth counter); the original
+///    start point — and therefore the accumulated total — is preserved,
+///    and the misuse is counted.
+///  * stop() at depth zero is a counted no-op; an inner stop() just
+///    unwinds one nesting level (only the outermost stop accumulates).
+///  * seconds() is a live read: while running it includes the elapsed
+///    time of the open region instead of returning a stale total.
+///  * reset() while running is counted, zeroes the total and restarts
+///    the open region at now (the depth is preserved).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TILGC_SUPPORT_TIMER_H
 #define TILGC_SUPPORT_TIMER_H
 
-#include <cassert>
+#include "support/Compiler.h"
+
 #include <chrono>
 #include <cstdint>
 
 namespace tilgc {
 
-/// An accumulating stopwatch. start()/stop() pairs add elapsed time into a
-/// running total; nesting is not allowed (assert-checked).
+/// An accumulating stopwatch with counted misuse tolerance (see the file
+/// comment).
 class Timer {
 public:
   void start() {
-    assert(!Running && "Timer already running");
-    Running = true;
+    if (TILGC_UNLIKELY(Depth != 0)) {
+      ++Depth;
+      ++MisuseCount;
+      return; // Keep the outer region's start point.
+    }
+    Depth = 1;
     Begin = Clock::now();
   }
 
   void stop() {
-    assert(Running && "Timer not running");
-    Running = false;
+    if (TILGC_UNLIKELY(Depth == 0)) {
+      ++MisuseCount;
+      return;
+    }
+    if (--Depth != 0)
+      return; // Inner stop of a (misused) nest: outermost stop accumulates.
     AccumulatedNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
                          Clock::now() - Begin)
                          .count();
   }
 
-  /// Total accumulated time in seconds.
+  /// Total accumulated time in seconds — a live read: an open region
+  /// contributes its elapsed time so far.
   double seconds() const {
-    assert(!Running && "read while running");
-    return static_cast<double>(AccumulatedNs) * 1e-9;
+    int64_t Ns = AccumulatedNs;
+    if (TILGC_UNLIKELY(Depth != 0))
+      Ns += std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 Begin)
+                .count();
+    return static_cast<double>(Ns) * 1e-9;
   }
 
-  /// Resets the accumulated total to zero.
+  /// Resets the accumulated total to zero. Counted as misuse while
+  /// running; the open region restarts at now.
   void reset() {
-    assert(!Running && "reset while running");
+    if (TILGC_UNLIKELY(Depth != 0)) {
+      ++MisuseCount;
+      Begin = Clock::now();
+    }
     AccumulatedNs = 0;
   }
 
-  bool isRunning() const { return Running; }
+  bool isRunning() const { return Depth != 0; }
+
+  /// Current start/stop nesting depth (1 while properly running).
+  unsigned depth() const { return Depth; }
+
+  /// Lifetime count of tolerated misuses: nested starts, unmatched stops,
+  /// and resets while running. Surfaced as GcStats::timerMisuses().
+  uint64_t misuses() const { return MisuseCount; }
 
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Begin;
   int64_t AccumulatedNs = 0;
-  bool Running = false;
+  unsigned Depth = 0;
+  uint64_t MisuseCount = 0;
 };
 
 /// RAII region that accumulates into a Timer.
