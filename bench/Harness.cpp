@@ -46,6 +46,10 @@ Measurement bench::runWorkload(Workload &W, const MutatorConfig &Config,
   R.FramesScanned = S.FramesScanned;
   R.FramesReused = S.FramesReused;
   R.SSBProcessed = S.SSBEntriesProcessed;
+  R.CardsScanned = S.CardsScanned;
+  R.CardSlotsVisited = S.CardSlotsVisited;
+  R.CrossingMapUpdates = S.CrossingMapUpdates;
+  R.HybridSwitchEpoch = S.HybridSwitchEpoch;
   R.PointerUpdates = M.pointerUpdates();
   R.PretenuredBytes = S.PretenuredBytes;
   R.PretenuredScannedBytes = S.PretenuredScannedBytes;

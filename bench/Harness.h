@@ -45,6 +45,11 @@ struct Measurement {
   uint64_t FramesScanned = 0;
   uint64_t FramesReused = 0;
   uint64_t SSBProcessed = 0;
+  /// Card-barrier columns (CardMarking/Hybrid; zero under pure SSB).
+  uint64_t CardsScanned = 0;
+  uint64_t CardSlotsVisited = 0;
+  uint64_t CrossingMapUpdates = 0;
+  uint64_t HybridSwitchEpoch = 0; ///< 0 = hybrid never degraded to cards.
   uint64_t PointerUpdates = 0;
   uint64_t PretenuredBytes = 0;
   uint64_t PretenuredScannedBytes = 0;

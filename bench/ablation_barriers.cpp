@@ -1,4 +1,4 @@
-//===- bench/ablation_barriers.cpp - SSB vs card marking ---------------------===//
+//===- bench/ablation_barriers.cpp - Write-barrier backends ------------------===//
 //
 // Part of the tilgc project (PLDI'98 GC reproduction).
 //
@@ -7,7 +7,18 @@
 // causing a great overhead in root processing. A more realistic approach
 // such as card-marking would probably ameliorate most of the problems."
 // This ablation builds that fix and measures it: Peg (and controls) under
-// SSB vs card marking at k = 4.
+// four barrier backends at k = 4 —
+//
+//   ssb     the paper's unconditional, duplicate-keeping store buffer;
+//   filt    the conditional (filtering) store buffer;
+//   cards   card marking over the crossing-map remembered set
+//           (O(dirty cards) scanning);
+//   hybrid  starts as ssb, degrades to cards when the flood heuristic
+//           trips — Peg should switch, the controls should not.
+//
+// Also emits BENCH_barriers.json for machine consumption. An optional bare
+// workload-name argument restricts the run (CI smoke: ablation_barriers
+// Peg --scale=0.1).
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,42 +26,123 @@
 
 #include "support/Table.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
 using namespace tilgc;
 using namespace tilgc::bench;
 
+namespace {
+
+struct Backend {
+  const char *Name;
+  GenerationalCollector::BarrierKind Kind;
+};
+
+constexpr Backend Backends[] = {
+    {"ssb", GenerationalCollector::BarrierKind::SequentialStoreBuffer},
+    {"filt", GenerationalCollector::BarrierKind::FilteredStoreBuffer},
+    {"cards", GenerationalCollector::BarrierKind::CardMarking},
+    {"hybrid", GenerationalCollector::BarrierKind::Hybrid},
+};
+constexpr int NumBackends = 4;
+
+/// Remembered-set slots the collector actually processed: precise SSB
+/// entries plus fields visited by dirty-card scans.
+uint64_t slotsProcessed(const Measurement &M) {
+  return M.SSBProcessed + M.CardSlotsVisited;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   double Scale = scaleFromArgs(Argc, Argv);
-  printBanner("Ablation: SSB vs card-marking write barrier, k = 4", Scale);
+  // A bare non-numeric argument names a single workload to run.
+  const char *Only = nullptr;
+  for (int I = 1; I < Argc; ++I)
+    if (Argv[I][0] != '-' &&
+        !std::isdigit(static_cast<unsigned char>(Argv[I][0])))
+      Only = Argv[I];
+  printBanner("Ablation: write-barrier backends (ssb/filt/cards/hybrid), "
+              "k = 4",
+              Scale);
 
   Table T("Write-barrier ablation (paper §4 discussion of Peg)");
-  T.setHeader({"Program", "updates", "GC ssb", "slots ssb", "GC filt",
-               "slots filt", "GC cards", "slots cards", "best dec"});
+  T.setHeader({"Program", "updates", "GC ssb", "GC filt", "GC cards",
+               "GC hyb", "slots ssb", "slots cards", "hyb switch",
+               "best dec"});
+
+  std::FILE *Json = std::fopen("BENCH_barriers.json", "w");
+  if (Json)
+    std::fprintf(Json, "{\"meta\": %s,\n \"runs\": [\n",
+                 machineMetaJson().c_str());
+  bool FirstRecord = true;
 
   for (const char *Name : {"Peg", "Life", "Lexgen", "Color"}) {
+    if (Only && std::strcmp(Only, Name) != 0)
+      continue;
     Workload *W = findWorkload(Name);
     if (!W)
       continue;
-    MutatorConfig C = configFor(CollectorKind::Generational, 4.0, *W, Scale);
-    Measurement A = runWorkload(*W, C, Scale);
-    C.Barrier = GenerationalCollector::BarrierKind::FilteredStoreBuffer;
-    Measurement F = runWorkload(*W, C, Scale);
-    C.Barrier = GenerationalCollector::BarrierKind::CardMarking;
-    Measurement B = runWorkload(*W, C, Scale);
-
-    double Best = F.GcSec < B.GcSec ? F.GcSec : B.GcSec;
+    Measurement M[NumBackends];
+    for (int I = 0; I < NumBackends; ++I) {
+      MutatorConfig C =
+          configFor(CollectorKind::Generational, 4.0, *W, Scale);
+      C.Barrier = Backends[I].Kind;
+      M[I] = runWorkload(*W, C, Scale);
+    }
+    const Measurement &A = M[0]; // ssb baseline
+    double Best = A.GcSec;
+    for (int I = 1; I < NumBackends; ++I)
+      Best = M[I].GcSec < Best ? M[I].GcSec : Best;
     double Dec = A.GcSec > 0 ? 100.0 * (A.GcSec - Best) / A.GcSec : 0.0;
+    const Measurement &H = M[3]; // hybrid
     T.addRow({Name,
               formatString("%llu", (unsigned long long)A.PointerUpdates),
-              checked(A, sec(A.GcSec)),
-              formatString("%llu", (unsigned long long)A.SSBProcessed),
-              checked(F, sec(F.GcSec)),
-              formatString("%llu", (unsigned long long)F.SSBProcessed),
-              checked(B, sec(B.GcSec)),
-              formatString("%llu", (unsigned long long)B.SSBProcessed),
+              checked(A, sec(A.GcSec)), checked(M[1], sec(M[1].GcSec)),
+              checked(M[2], sec(M[2].GcSec)), checked(H, sec(H.GcSec)),
+              formatString("%llu", (unsigned long long)slotsProcessed(A)),
+              formatString("%llu",
+                           (unsigned long long)slotsProcessed(M[2])),
+              H.HybridSwitchEpoch
+                  ? formatString("gc#%llu",
+                                 (unsigned long long)H.HybridSwitchEpoch)
+                  : "never",
               formatString("%.0f%%", Dec)});
+    if (Json) {
+      for (int I = 0; I < NumBackends; ++I) {
+        std::fprintf(
+            Json,
+            "%s  {\"workload\": \"%s\", \"barrier\": \"%s\", \"k\": 4.0,\n"
+            "   \"gc_sec\": %.6f, \"total_sec\": %.6f,\n"
+            "   \"pointer_updates\": %llu, \"ssb_entries\": %llu,\n"
+            "   \"cards_scanned\": %llu, \"card_slots_visited\": %llu,\n"
+            "   \"crossing_map_updates\": %llu,\n"
+            "   \"hybrid_switch_epoch\": %llu,\n"
+            "   \"minor_p50_us\": %.1f, \"minor_p99_us\": %.1f,\n"
+            "   \"valid\": %s}",
+            FirstRecord ? "" : ",\n", Name, Backends[I].Name, M[I].GcSec,
+            M[I].TotalSec, (unsigned long long)M[I].PointerUpdates,
+            (unsigned long long)M[I].SSBProcessed,
+            (unsigned long long)M[I].CardsScanned,
+            (unsigned long long)M[I].CardSlotsVisited,
+            (unsigned long long)M[I].CrossingMapUpdates,
+            (unsigned long long)M[I].HybridSwitchEpoch,
+            M[I].MinorPauseP50Us, M[I].MinorPauseP99Us,
+            M[I].Valid ? "true" : "false");
+        FirstRecord = false;
+      }
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n]}\n");
+    std::fclose(Json);
+    std::printf("wrote BENCH_barriers.json\n");
   }
   T.print(stdout);
-  std::printf("'slots' = remembered-set slots processed at collections; "
-              "filt = filtering (conditional) store buffer.\n");
+  std::printf("'slots' = remembered-set slots processed at collections "
+              "(SSB entries + card-scan fields); 'hyb switch' = collection "
+              "at which the hybrid degraded to cards.\n");
   return 0;
 }

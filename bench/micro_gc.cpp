@@ -99,6 +99,13 @@ BENCHMARK(
     ->Name("BM_WriteBarrierSSB");
 BENCHMARK(BM_WriteBarrier<GenerationalCollector::BarrierKind::CardMarking>)
     ->Name("BM_WriteBarrierCards");
+BENCHMARK(
+    BM_WriteBarrier<GenerationalCollector::BarrierKind::FilteredStoreBuffer>)
+    ->Name("BM_WriteBarrierFilteredSSB");
+// Note: the drain interval (64K stores) exceeds the hybrid flood threshold,
+// so this measures the post-switch (card-mode) fast path after warmup.
+BENCHMARK(BM_WriteBarrier<GenerationalCollector::BarrierKind::Hybrid>)
+    ->Name("BM_WriteBarrierHybrid");
 
 /// Copy-phase cost: a semispace collection copies the whole live list every
 /// iteration, so this times the serial evacuator's hot loop (from-space

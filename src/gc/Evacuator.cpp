@@ -66,6 +66,12 @@ Word *Evacuator::copy(Word *P) {
   BytesCopied += Bytes;
   ++ObjectsCopied;
 
+  if (TILGC_UNLIKELY(C.CrossDest != nullptr) && Target == C.Dest) {
+    C.CrossDest->recordObject(NewPayload - HeaderWords,
+                              objectTotalWords(Descriptor));
+    ++CrossingUpdates;
+  }
+
   if (C.Profiler) {
     uint32_t Site = meta::site(Meta);
     C.Profiler->onCopy(Site, Bytes);

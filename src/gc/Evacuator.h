@@ -23,6 +23,7 @@
 #ifndef TILGC_GC_EVACUATOR_H
 #define TILGC_GC_EVACUATOR_H
 
+#include "heap/CrossingMap.h"
 #include "heap/LargeObjectSpace.h"
 #include "heap/Space.h"
 #include "object/Object.h"
@@ -67,6 +68,10 @@ public:
     /// collector's phase scopes cover it); the parallel engine stamps
     /// per-worker spans into the in-flight event when armed.
     GcTelemetry *Telemetry = nullptr;
+    /// Optional object-start crossing map covering Dest. When set, every
+    /// object copied into Dest is recorded so later dirty-card scans can
+    /// find object starts (CardMarking / Hybrid barriers).
+    CrossingMap *CrossDest = nullptr;
   };
 
   explicit Evacuator(const Config &C);
@@ -105,6 +110,7 @@ public:
 
   uint64_t bytesCopied() const { return BytesCopied; }
   uint64_t objectsCopied() const { return ObjectsCopied; }
+  uint64_t crossingMapUpdates() const { return CrossingUpdates; }
 
 private:
   /// From-space bounds are cached in plain members at construction: the
@@ -132,6 +138,7 @@ private:
   std::vector<Word *> LOSWork;
   uint64_t BytesCopied = 0;
   uint64_t ObjectsCopied = 0;
+  uint64_t CrossingUpdates = 0;
 };
 
 } // namespace tilgc

@@ -58,6 +58,16 @@ struct GcStats {
   // Write-barrier accounting.
   uint64_t SSBEntriesProcessed = 0;
 
+  // Card-marking / crossing-map accounting (CardMarking and Hybrid
+  // barriers; all zero under pure SSB configurations).
+  uint64_t CardsScanned = 0;      ///< Dirty cards walked across all scans.
+  uint64_t CardSlotsVisited = 0;  ///< Pointer fields examined in card scans.
+  uint64_t CrossingMapUpdates = 0; ///< Objects recorded in the crossing map.
+  uint64_t HybridSwitches = 0;    ///< Hybrid barrier SSB→card degradations.
+  /// Collection number (NumGC at the time, 1-based) of the first hybrid
+  /// switch; 0 when the flood heuristic never tripped.
+  uint64_t HybridSwitchEpoch = 0;
+
   // Pretenuring accounting.
   uint64_t PretenuredBytes = 0;
   uint64_t PretenuredScannedBytes = 0;

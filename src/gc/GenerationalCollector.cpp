@@ -62,8 +62,13 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
     }
   }
 
-  if (Opts.Barrier == BarrierKind::CardMarking)
+  if (usesCardBarrier()) {
+    // Hybrid attaches from construction too: promotions recorded while the
+    // barrier is still in SSB mode must be resolvable once it degrades.
     Cards.attach(*TenuredFrom);
+    CrossMap.attach(*TenuredFrom);
+    recomputeHybridThreshold();
+  }
   if (Opts.GcThreads > 1)
     Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
 
@@ -137,6 +142,11 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
         throwHeapExhausted(Total);
     }
     notePretenuredRun(Payload, Descriptor, PretenureFlag[SiteId] == 2);
+    if (usesCardBarrier()) {
+      CrossMap.recordObject(Payload - HeaderWords,
+                            objectTotalWords(Descriptor));
+      ++Stats.CrossingMapUpdates;
+    }
     Stats.PretenuredBytes += Total;
     accountAllocation(Kind, Descriptor, SiteId);
     std::memset(Payload, 0, PayloadBytes);
@@ -172,6 +182,11 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
         if (TILGC_UNLIKELY(!Payload))
           throwHeapExhausted(Total);
         notePretenuredRun(Payload, Descriptor, /*NoScan=*/false);
+        if (usesCardBarrier()) {
+          CrossMap.recordObject(Payload - HeaderWords,
+                                objectTotalWords(Descriptor));
+          ++Stats.CrossingMapUpdates;
+        }
       }
     }
   }
@@ -207,8 +222,50 @@ void GenerationalCollector::writeBarrier(Word *Slot) {
     }
     LOSDirtySlots.push_back(Slot);
     return;
+  case BarrierKind::Hybrid:
+    if (TILGC_LIKELY(!HybridCardMode)) {
+      // SSB mode: record unconditionally (identical cost and totals to the
+      // plain SSB), then test the flood heuristic. The comparison against
+      // the card capacity is the insight: once the pending SSB holds more
+      // entries than the dirtiest possible card table, precise slots have
+      // stopped paying for themselves.
+      SSB.record(Slot);
+      if (TILGC_UNLIKELY(SSB.size() >= HybridFloodEntries))
+        hybridSwitchToCards();
+      return;
+    }
+    if (inNursery(Slot))
+      return;
+    if (TenuredFrom->contains(Slot)) {
+      Cards.mark(Slot);
+      return;
+    }
+    LOSDirtySlots.push_back(Slot);
+    return;
   }
   TILGC_UNREACHABLE("bad barrier kind");
+}
+
+void GenerationalCollector::hybridSwitchToCards() {
+  // Replay the pending SSB into the card/side-buffer representation, then
+  // flip modes for good. Young-object slots are dropped (the minor scan
+  // covers them); the replay preserves exactly the information the card
+  // branch of the barrier would have captured.
+  for (Word *Slot : SSB.entries()) {
+    if (inNursery(Slot))
+      continue;
+    if (TenuredFrom->contains(Slot)) {
+      Cards.mark(Slot);
+      continue;
+    }
+    LOSDirtySlots.push_back(Slot);
+  }
+  SSB.clear();
+  HybridCardMode = true;
+  HybridSwitchedSinceGC = true;
+  ++Stats.HybridSwitches;
+  if (Stats.HybridSwitchEpoch == 0)
+    Stats.HybridSwitchEpoch = Stats.NumGC + 1;
 }
 
 void GenerationalCollector::collect(bool Major) {
@@ -250,10 +307,51 @@ void GenerationalCollector::notePretenuredRun(Word *Payload, Word Descriptor,
   Runs.push_back(Run{Begin, End, NoScan});
 }
 
+/// All dirty cards → \p Fn, in card order. When a worker pool exists and
+/// the dirty count justifies the fork/join, the card range is partitioned
+/// into per-worker stripes scanned concurrently into private scratch
+/// vectors, which are then drained serially in stripe order — the same
+/// field sequence a serial full scan emits (a dirty run split at a stripe
+/// boundary re-walks the straddling object, but scanDirtyCardRange's range
+/// checks keep each field in exactly one stripe). Fn itself always runs on
+/// the controlling thread.
+template <typename SlotFn>
+void GenerationalCollector::sweepDirtyCards(SlotFn Fn) {
+  size_t NumCards = Cards.numCards();
+  uint64_t CardsScanned = 0, SlotsVisited = 0;
+  if (Pool && Cards.numDirtyCards() >= ParallelSweepMinDirtyCards) {
+    unsigned N = Pool->numWorkers();
+    SweepScratch.resize(N);
+    std::vector<uint64_t> WCards(N, 0), WSlots(N, 0);
+    Pool->runOnAll([&](unsigned I) {
+      SweepScratch[I].clear();
+      size_t Begin = NumCards * I / N;
+      size_t End = NumCards * (I + 1) / N;
+      Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, Begin, End, WCards[I],
+                               WSlots[I],
+                               [&](Word *F) { SweepScratch[I].push_back(F); });
+    });
+    for (unsigned I = 0; I < N; ++I) {
+      CardsScanned += WCards[I];
+      SlotsVisited += WSlots[I];
+      for (Word *F : SweepScratch[I])
+        Fn(F);
+    }
+  } else {
+    Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, 0, NumCards, CardsScanned,
+                             SlotsVisited, Fn);
+  }
+  Stats.CardsScanned += CardsScanned;
+  Stats.CardSlotsVisited += SlotsVisited;
+}
+
 template <typename SlotFn>
 void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
-  // Write-barrier output.
-  if (Opts.Barrier != BarrierKind::CardMarking) {
+  // Write-barrier output. (Phase scopes live here, as siblings, so phase
+  // durations never nest and their sum stays below the pause; both scopes
+  // are no-ops outside a collection, e.g. under the pre-minor audit.)
+  if (!cardModeActive()) {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::SsbFilter);
     for (Word *Slot : SSB.entries()) {
       // Slots inside young objects are covered by the copy scan itself;
       // the paper's collector filters them the same way.
@@ -263,16 +361,20 @@ void GenerationalCollector::forEachOldToYoungRoot(SlotFn Fn) {
       ++Stats.SSBEntriesProcessed;
     }
   } else {
-    Cards.forEachDirtyField(*TenuredFrom, [&](Word *Field) {
-      Fn(Field);
-      ++Stats.SSBEntriesProcessed;
-    });
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::CardScan);
+    // Card-scan fields are accounted as CardsScanned/CardSlotsVisited, not
+    // SSB entries: the emitted set depends on object placement, which the
+    // parallel evacuator makes engine-dependent, and SsbEntriesProcessed
+    // must stay in the deterministic event slice. The LOS side buffer is
+    // precise barrier output and counts.
+    sweepDirtyCards(Fn);
     for (Word *Slot : LOSDirtySlots) {
       Fn(Slot);
       ++Stats.SSBEntriesProcessed;
     }
   }
 
+  GcTelemetry::PhaseScope PS(Tel, GcPhase::SsbFilter);
   // The pretenured region (§6): "we remember the area of the older
   // generation that has been directly allocated into and scan this region
   // ... a win over copying since copying objects is slower than only
@@ -338,6 +440,8 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
   C.Telemetry = &Tel;
+  if (usesCardBarrier())
+    C.CrossDest = &CrossMap;
 
   // Batched root pipeline: gather the heap-side roots (barrier output,
   // pretenured regions, new large objects) into one contiguous span, then
@@ -347,14 +451,18 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
   // collection (the slots live outside the nursery), so gather-then-forward
   // is equivalent to forwarding during enumeration.
   uint64_t SsbBefore = Stats.SSBEntriesProcessed;
+  uint64_t CardsBefore = Stats.CardsScanned;
+  uint64_t DirtyBefore = Cards.numDirtyCards();
   {
-    TimerScope T(Stats.StackTime); // Root gathering.
-    GcTelemetry::PhaseScope PS(Tel, GcPhase::SsbFilter);
+    TimerScope T(Stats.StackTime); // Root gathering (phases inside).
     RootBatch.clear();
     forEachOldToYoungRoot([&](Word *Slot) { RootBatch.push_back(Slot); });
   }
-  if (GcEvent *Ev = Tel.currentEvent())
+  if (GcEvent *Ev = Tel.currentEvent()) {
     Ev->SsbEntriesProcessed = Stats.SSBEntriesProcessed - SsbBefore;
+    Ev->DirtyCards = DirtyBefore;
+    Ev->CardsScanned = Stats.CardsScanned - CardsBefore;
+  }
 
   // Promote-all + markers: roots in unchanged frames were redirected to
   // the tenured generation by the previous collection and cannot point
@@ -393,6 +501,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.CrossingMapUpdates += E.crossingMapUpdates();
     Stats.EvacWorkerFaults += E.workerFaults();
     if (E.workerFaults())
       ++Stats.EvacSerialRecoveries;
@@ -424,6 +533,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.CrossingMapUpdates += E.crossingMapUpdates();
     if (GcEvent *Ev = Tel.currentEvent()) {
       Ev->BytesCopied = E.bytesCopied();
       Ev->ObjectsCopied = E.objectsCopied();
@@ -468,8 +578,12 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
     // the truthful figure either way.
     Ev->BytesPromoted = TenuredFrom->usedBytes() - TenuredUsedBefore;
     Ev->BytesPretenured = Stats.PretenuredBytes - PretenuredBytesAtLastGC;
+    Ev->CrossingMapUpdates = Stats.CrossingMapUpdates - CrossingUpdatesAtLastGC;
+    Ev->HybridSwitched = HybridSwitchedSinceGC;
   }
   PretenuredBytesAtLastGC = Stats.PretenuredBytes;
+  CrossingUpdatesAtLastGC = Stats.CrossingMapUpdates;
+  HybridSwitchedSinceGC = false;
   Tel.endCollection();
 
   // Tenured pressure: if the next nursery-load might not fit, collect the
@@ -517,10 +631,14 @@ void GenerationalCollector::auditRememberedSets() {
   uint64_t SavedSSB = Stats.SSBEntriesProcessed;
   uint64_t SavedScanned = Stats.PretenuredScannedBytes;
   uint64_t SavedSkipped = Stats.PretenuredScanSkippedBytes;
+  uint64_t SavedCards = Stats.CardsScanned;
+  uint64_t SavedCardSlots = Stats.CardSlotsVisited;
   forEachOldToYoungRoot([&](Word *Slot) { Covered.insert(Slot); });
   Stats.SSBEntriesProcessed = SavedSSB;
   Stats.PretenuredScannedBytes = SavedScanned;
   Stats.PretenuredScanSkippedBytes = SavedSkipped;
+  Stats.CardsScanned = SavedCards;
+  Stats.CardSlotsVisited = SavedCardSlots;
   for (Word *Slot : CrossGenSlots)
     Covered.insert(Slot);
 
@@ -594,6 +712,12 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
     TenuredTo->reserve(Reserve);
   }
+  // Rebind the crossing map to the destination (after any growth above):
+  // promotions recorded during this evacuation must survive the swap, so
+  // the map is NOT re-attached afterwards — it already covers the new
+  // TenuredFrom.
+  if (usesCardBarrier())
+    CrossMap.attach(*TenuredTo);
 
   Evacuator::Config C;
   C.From = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr, TenuredFrom};
@@ -603,6 +727,8 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
   C.Profiler = Env.Profiler;
   C.CountSurvivedFirst = true;
   C.Telemetry = &Tel;
+  if (usesCardBarrier())
+    C.CrossDest = &CrossMap;
 
   // Everything moves in a major collection: reused roots are processed,
   // the saving is only the avoided re-decoding of unchanged frames.
@@ -623,6 +749,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.CrossingMapUpdates += E.crossingMapUpdates();
     Stats.EvacWorkerFaults += E.workerFaults();
     if (E.workerFaults())
       ++Stats.EvacSerialRecoveries;
@@ -651,6 +778,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     }
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
+    Stats.CrossingMapUpdates += E.crossingMapUpdates();
     if (GcEvent *Ev = Tel.currentEvent()) {
       Ev->BytesCopied = E.bytesCopied();
       Ev->ObjectsCopied = E.objectsCopied();
@@ -723,15 +851,26 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
       TenuredToPoisonValid = true;
     }
 
-    if (Opts.Barrier == BarrierKind::CardMarking)
+    if (usesCardBarrier()) {
+      // The card table re-attaches to the (swapped-in) live space; the
+      // crossing map was attached to it before evacuation and stays.
       Cards.attach(*TenuredFrom);
+      recomputeHybridThreshold();
+      assert(CrossMap.boundTo(*TenuredFrom) &&
+             "crossing map lost the tenured swap");
+    }
     LOSAllocSinceGC = 0;
   }
   maybeVerifyHeap("major");
 
-  if (GcEvent *Ev = Tel.currentEvent())
+  if (GcEvent *Ev = Tel.currentEvent()) {
     Ev->BytesPretenured = Stats.PretenuredBytes - PretenuredBytesAtLastGC;
+    Ev->CrossingMapUpdates = Stats.CrossingMapUpdates - CrossingUpdatesAtLastGC;
+    Ev->HybridSwitched = HybridSwitchedSinceGC;
+  }
   PretenuredBytesAtLastGC = Stats.PretenuredBytes;
+  CrossingUpdatesAtLastGC = Stats.CrossingMapUpdates;
+  HybridSwitchedSinceGC = false;
   Tel.endCollection();
 }
 

@@ -49,13 +49,17 @@ class WorkerPool;
 class GenerationalCollector : public Collector {
 public:
   /// The paper's SSB (unconditional, duplicate-keeping), the card table
-  /// it suggests for Peg, or a filtering SSB that tests for an actual
+  /// it suggests for Peg, a filtering SSB that tests for an actual
   /// old->young store before recording (the classic conditional barrier
-  /// the paper's §9 lists under "write barrier techniques").
+  /// the paper's §9 lists under "write barrier techniques"), or the
+  /// adaptive hybrid that starts as an SSB and degrades to card marking
+  /// when a flood heuristic trips (Peg's 2.97M updates get card behaviour
+  /// automatically; quiet workloads keep the SSB's precise slots).
   enum class BarrierKind {
     SequentialStoreBuffer,
     CardMarking,
     FilteredStoreBuffer,
+    Hybrid,
   };
 
   struct Options {
@@ -140,7 +144,20 @@ public:
   bool inLOS(const Word *P) const { return LOS.contains(P); }
   const LargeObjectSpace &largeObjectSpace() const { return LOS; }
   const StoreBuffer &storeBuffer() const { return SSB; }
+  const CardTable &cardTable() const { return Cards; }
+  const CrossingMap &crossingMap() const { return CrossMap; }
   size_t nurseryCapacity() const { return NurseryFrom->capacityBytes(); }
+
+  /// Hybrid-barrier flood heuristic: the barrier degrades SSB→cards when
+  /// the pending SSB grows past HybridFloodFactor × the covered space's
+  /// card count (an SSB already denser than the dirtiest possible card
+  /// table has lost its precision advantage).
+  static constexpr uint64_t HybridFloodFactor = 4;
+  /// True once the Hybrid barrier has degraded to card marking (sticky for
+  /// the collector's lifetime; always false for other barrier kinds).
+  bool hybridInCardMode() const { return HybridCardMode; }
+  /// Current SSB-entry count that trips the hybrid switch.
+  uint64_t hybridFloodThreshold() const { return HybridFloodEntries; }
 
   /// Mutator fast path: non-pretenured sites bump-allocate into the
   /// nursery; pretenured sites (and large arrays, via the size bound) take
@@ -170,6 +187,32 @@ private:
   /// \p Fn(Word *Slot). Shared by the serial path (Fn forwards the slot
   /// immediately) and the parallel one (Fn queues it as a root batch).
   template <typename SlotFn> void forEachOldToYoungRoot(SlotFn Fn);
+
+  /// True for the barrier kinds that maintain the card table + crossing
+  /// map (CardMarking always; Hybrid from construction, so promotions that
+  /// precede a switch are already covered when the switch happens).
+  bool usesCardBarrier() const {
+    return Opts.Barrier == BarrierKind::CardMarking ||
+           Opts.Barrier == BarrierKind::Hybrid;
+  }
+  /// True while stores actually dirty cards (CardMarking, or Hybrid after
+  /// its flood switch).
+  bool cardModeActive() const {
+    return Opts.Barrier == BarrierKind::CardMarking || HybridCardMode;
+  }
+  /// Recomputes the hybrid flood threshold from the covered space's card
+  /// count (called whenever the card table re-attaches).
+  void recomputeHybridThreshold() {
+    HybridFloodEntries = HybridFloodFactor * Cards.numCards();
+  }
+  /// The Hybrid barrier's SSB→card degradation: replays pending SSB
+  /// entries into card marks (or the LOS side buffer) and flips the
+  /// barrier into card mode for the rest of the collector's lifetime.
+  void hybridSwitchToCards();
+  /// Scans all dirty cards into \p Fn, striping across the worker pool
+  /// when the dirty count justifies it. Emission order is identical to a
+  /// serial full scan for any stripe partition.
+  template <typename SlotFn> void sweepDirtyCards(SlotFn Fn);
 
   /// Registers a pretenured allocation for the next region scan.
   void notePretenuredRun(Word *Payload, Word Descriptor, bool NoScan);
@@ -214,6 +257,7 @@ private:
   LargeObjectSpace LOS;
   StoreBuffer SSB;
   CardTable Cards;
+  CrossingMap CrossMap; ///< Object starts for TenuredFrom's cards.
   std::vector<Word *> LOSDirtySlots; ///< Card-mode overflow for LOS slots.
   MarkerManager Markers;
   ScanCache Cache;
@@ -254,6 +298,19 @@ private:
   /// Stats.PretenuredBytes watermark at the end of the previous collection;
   /// the telemetry event reports the per-collection delta.
   uint64_t PretenuredBytesAtLastGC = 0;
+  /// Stats.CrossingMapUpdates watermark (same per-collection-delta role).
+  uint64_t CrossingUpdatesAtLastGC = 0;
+  /// Hybrid barrier state: sticky card-mode flag, the per-event "switched
+  /// since the last collection" latch, and the current flood threshold.
+  bool HybridCardMode = false;
+  bool HybridSwitchedSinceGC = false;
+  uint64_t HybridFloodEntries = 0;
+  /// Parallel card sweep: stripes with at least this many dirty cards in
+  /// total go to the worker pool; below it the serial scan is cheaper than
+  /// the fork/join.
+  static constexpr size_t ParallelSweepMinDirtyCards = 64;
+  /// Per-worker scratch for the parallel card sweep (capacity reused).
+  std::vector<std::vector<Word *>> SweepScratch;
   /// True while TenuredTo sits idle fully poisoned (checked for wild
   /// writes at the next major's entry).
   bool TenuredToPoisonValid = false;

@@ -79,9 +79,15 @@ void ParallelEvacuator::retireBlock(Worker &W, LocalAlloc &LA) {
   if (LA.Scan < LA.Alloc)
     publishSpan(W, Span{LA.Scan, LA.Alloc});
   if (LA.Alloc < LA.BlockEnd &&
-      !LA.S->returnBlockTail(LA.Alloc, LA.BlockEnd))
-    LA.Alloc[0] = header::makePad(static_cast<uint32_t>(LA.BlockEnd -
-                                                        LA.Alloc));
+      !LA.S->returnBlockTail(LA.Alloc, LA.BlockEnd)) {
+    uint32_t PadW = static_cast<uint32_t>(LA.BlockEnd - LA.Alloc);
+    LA.Alloc[0] = header::makePad(PadW);
+    // Pad fillers are recorded in the crossing map (a dirty-card scan must
+    // be able to step over them from a card-first word) but deliberately
+    // not counted: pad geometry varies with thread count.
+    if (C.CrossDest && LA.S == C.Dest)
+      C.CrossDest->recordObject(LA.Alloc, PadW);
+  }
   LA.BlockBegin = LA.BlockEnd = LA.Alloc = LA.Scan = nullptr;
 }
 
@@ -144,6 +150,12 @@ Word *ParallelEvacuator::copy(Worker &W, Word *P) {
   uint64_t Bytes = objectTotalBytes(Descriptor);
   W.BytesCopied += Bytes;
   ++W.ObjectsCopied;
+  // Only the CAS winner records: losers retracted their speculative copy
+  // above, so every crossing-map entry byte has exactly one writer.
+  if (TILGC_UNLIKELY(C.CrossDest != nullptr) && LA == &W.Old) {
+    C.CrossDest->recordObject(NewPayload - HeaderWords, Total);
+    ++W.CrossingUpdates;
+  }
   if (W.Prof) {
     uint32_t Site = meta::site(Meta);
     W.Prof->onCopy(Site, Bytes);
@@ -458,6 +470,7 @@ void ParallelEvacuator::run() {
     retireBlock(W, W.Young);
     TotalBytesCopied += W.BytesCopied;
     TotalObjectsCopied += W.ObjectsCopied;
+    TotalCrossingUpdates += W.CrossingUpdates;
     if (C.Profiler && W.Prof)
       C.Profiler->mergeFrom(*W.Prof);
     if (C.CrossGenOut)

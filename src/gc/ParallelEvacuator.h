@@ -104,6 +104,7 @@ public:
 
   uint64_t bytesCopied() const { return TotalBytesCopied; }
   uint64_t objectsCopied() const { return TotalObjectsCopied; }
+  uint64_t crossingMapUpdates() const { return TotalCrossingUpdates; }
 
   /// Workers that faulted (threw) during the pass. When nonzero, run()
   /// finished their abandoned work with a single-threaded recovery drain.
@@ -151,6 +152,7 @@ private:
     std::unique_ptr<HeapProfiler> Prof;
     uint64_t BytesCopied = 0;
     uint64_t ObjectsCopied = 0;
+    uint64_t CrossingUpdates = 0;
     /// Telemetry span stamps (only written when the pass stamps workers —
     /// an armed telemetry plane was configured). Written by the worker
     /// itself, read by the controlling thread after the pool joins.
@@ -223,6 +225,7 @@ private:
   bool StampWorkers = false;
   uint64_t TotalBytesCopied = 0;
   uint64_t TotalObjectsCopied = 0;
+  uint64_t TotalCrossingUpdates = 0;
 };
 
 } // namespace tilgc

@@ -12,19 +12,22 @@
 /// per-collection root-processing cost is bounded by the number of dirty
 /// cards rather than by the mutation count.
 ///
-/// Simplification (documented in DESIGN.md): dirty-card processing walks the
-/// tenured space's objects linearly and filters by the dirty bitmap rather
-/// than maintaining a crossing map. The cost is O(live tenured data) per
-/// minor collection, which is the same asymptotic cost the paper already
-/// accepts for pretenured-region scanning and is negligible for the
-/// benchmark that motivates the ablation (Peg's live data is tiny, while
-/// its SSB sees millions of entries).
+/// Beyond the paper: crossing-map remembered set (see DESIGN.md). Dirty-card
+/// processing pairs the bitmap with a CrossingMap so a scan coalesces each
+/// maximal dirty run, jumps straight to the object covering the run's first
+/// word, and walks forward only until the run ends — visiting just the
+/// pointer fields that lie inside dirty cards (large pointer arrays are
+/// clipped to the run). The cost per minor collection is O(dirty cards),
+/// independent of live tenured data, which is what lets card marking scale
+/// to big tenured heaps and makes the adaptive SSB→card hybrid barrier
+/// worthwhile.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TILGC_HEAP_CARDTABLE_H
 #define TILGC_HEAP_CARDTABLE_H
 
+#include "heap/CrossingMap.h"
 #include "heap/Space.h"
 #include "object/Object.h"
 
@@ -38,14 +41,23 @@ class CardTable {
 public:
   /// Bytes per card.
   static constexpr size_t CardBytes = 512;
+  static_assert(CardBytes == CrossingMap::CardBytes,
+                "card table and crossing map must agree on card geometry");
 
   /// (Re)binds the table to \p S, covering its current capacity, and
   /// clears all marks. Must be called whenever the covered space's backing
   /// storage is re-reserved.
   void attach(const Space &S) {
     Base = S.firstPayload() - HeaderWords;
+    Epoch = S.reserveEpoch();
     size_t Cards = (S.capacityBytes() + CardBytes - 1) / CardBytes;
     Dirty.assign(Cards, 0);
+    NumDirty = 0;
+  }
+
+  /// True if the table is bound to \p S's current backing storage.
+  bool boundTo(const Space &S) const {
+    return Base == S.baseAddr() && Epoch == S.reserveEpoch();
   }
 
   /// True if \p Slot lies in the covered space.
@@ -56,55 +68,127 @@ public:
   /// Marks the card containing \p Slot.
   void mark(const Word *Slot) {
     assert(covers(Slot) && "marking a slot outside the covered space");
-    Dirty[cardOf(Slot)] = 1;
+    size_t C = cardOf(Slot);
+    if (!Dirty[C]) {
+      Dirty[C] = 1;
+      ++NumDirty;
+    }
     ++MarksRecorded;
   }
 
-  void clear() { Dirty.assign(Dirty.size(), 0); }
+  void clear() {
+    Dirty.assign(Dirty.size(), 0);
+    NumDirty = 0;
+  }
 
-  /// Invokes \p Fn with the address of every pointer field of every object
-  /// in \p S whose field address lies in a dirty card.
-  template <typename FnT> void forEachDirtyField(const Space &S, FnT Fn) {
-    S.walk([&](Word *Payload, Word Descriptor, bool Forwarded) {
-      assert(!Forwarded && "dirty-card scan during evacuation");
-      (void)Forwarded;
-      uint32_t Len = header::length(Descriptor);
-      size_t FirstCard = cardOf(Payload);
-      size_t LastCard = Len ? cardOf(Payload + Len - 1) : FirstCard;
-      bool AnyDirty = false;
-      for (size_t Card = FirstCard; Card <= LastCard; ++Card) {
-        if (Dirty[Card]) {
-          AnyDirty = true;
+  /// Scans the dirty cards in [\p CardBegin, \p CardEnd), invoking \p Fn
+  /// with the address of every pointer field lying in a dirty card. Uses
+  /// \p CM to find the object covering each dirty run's first word, then
+  /// walks objects forward (skipping pad fillers), clipping pointer-array
+  /// element iteration to the run so the work done is proportional to the
+  /// dirty cards scanned, never to live tenured data. \p CardsScanned and
+  /// \p SlotsVisited accumulate the dirty cards walked and pointer fields
+  /// examined. Any card-aligned partition of [0, numCards()) emits the
+  /// same fields in the same order as one full scan: a run split at a
+  /// partition boundary re-walks the straddling object, but the range
+  /// checks keep every field in exactly one partition.
+  template <typename FnT>
+  void scanDirtyCardRange(const Space &S, const CrossingMap &CM,
+                          size_t CardBegin, size_t CardEnd,
+                          uint64_t &CardsScanned, uint64_t &SlotsVisited,
+                          FnT Fn) const {
+    assert(boundTo(S) && "card table stale after a space re-reserve");
+    assert(CM.boundTo(S) && "crossing map stale after a space re-reserve");
+    Word *SpaceBase = S.firstPayload() - HeaderWords;
+    Word *Frontier = S.frontier();
+    for (size_t C = CardBegin; C < CardEnd;) {
+      if (!Dirty[C]) {
+        ++C;
+        continue;
+      }
+      size_t RunBegin = C;
+      while (C < CardEnd && Dirty[C])
+        ++C;
+      size_t RunEnd = C;
+      CardsScanned += RunEnd - RunBegin;
+      Word *RunLo = SpaceBase + RunBegin * CrossingMap::CardWords;
+      Word *RunHi = SpaceBase + RunEnd * CrossingMap::CardWords;
+      if (RunHi > Frontier)
+        RunHi = Frontier;
+      if (RunLo >= Frontier)
+        continue; // Dirty card past the frontier: stale mark, nothing to scan.
+      const Word *Start = CM.objectStartCovering(RunBegin);
+      assert(Start && "no crossing-map entry for a dirty card below the "
+                      "frontier (maintenance bug)");
+      // Release-mode fallback: walk from the space base. Correct, just slow.
+      Word *P = Start ? SpaceBase + (Start - S.baseAddr()) : SpaceBase;
+      while (P < RunHi) {
+        Word Raw = P[0];
+        if (TILGC_UNLIKELY(header::isPad(Raw))) {
+          P += header::padWords(Raw);
+          continue;
+        }
+        assert(!header::isForwarded(Raw) && "dirty-card scan during evacuation");
+        Word *Payload = P + HeaderWords;
+        switch (header::kind(Raw)) {
+        case ObjectKind::Record: {
+          uint32_t Mask = header::ptrMask(Raw);
+          while (Mask) {
+            unsigned I = static_cast<unsigned>(__builtin_ctz(Mask));
+            Word *Field = &Payload[I];
+            if (Field >= RunLo && Field < RunHi) {
+              ++SlotsVisited;
+              Fn(Field);
+            }
+            Mask &= Mask - 1;
+          }
           break;
         }
+        case ObjectKind::PtrArray: {
+          Word *Lo = Payload > RunLo ? Payload : RunLo;
+          Word *Hi = Payload + header::length(Raw);
+          if (Hi > RunHi)
+            Hi = RunHi;
+          for (Word *Field = Lo; Field < Hi; ++Field) {
+            ++SlotsVisited;
+            Fn(Field);
+          }
+          break;
+        }
+        case ObjectKind::NonPtrArray:
+          break;
+        case ObjectKind::Pad:
+          TILGC_UNREACHABLE("pad descriptor escaped the pad check");
+        }
+        P += objectTotalWords(Raw);
       }
-      if (!AnyDirty)
-        return;
-      forEachPointerField(Payload, [&](Word *Field) {
-        if (Dirty[cardOf(Field)])
-          Fn(Field);
-      });
-    });
+    }
   }
 
-  size_t numDirtyCards() const {
-    size_t N = 0;
-    for (uint8_t D : Dirty)
-      N += D;
-    return N;
+  /// Full-table scan: every pointer field in every dirty card, via \p CM.
+  template <typename FnT>
+  void forEachDirtyField(const Space &S, const CrossingMap &CM, FnT Fn) const {
+    uint64_t Cards = 0, Slots = 0;
+    scanDirtyCardRange(S, CM, 0, Dirty.size(), Cards, Slots, Fn);
   }
+
+  size_t numCards() const { return Dirty.size(); }
+
+  size_t numDirtyCards() const { return NumDirty; }
 
   uint64_t marksRecorded() const { return MarksRecorded; }
 
-private:
   size_t cardOf(const Word *P) const {
     return static_cast<size_t>(reinterpret_cast<const char *>(P) -
                                reinterpret_cast<const char *>(Base)) /
            CardBytes;
   }
 
+private:
   const Word *Base = nullptr;
+  uint64_t Epoch = 0;
   std::vector<uint8_t> Dirty;
+  size_t NumDirty = 0;
   uint64_t MarksRecorded = 0;
 };
 

@@ -1,0 +1,16 @@
+//===- heap/CrossingMap.cpp - Object-start crossing map ------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/CrossingMap.h"
+
+using namespace tilgc;
+
+void CrossingMap::attach(const Space &S) {
+  Base = S.baseAddr();
+  Epoch = S.reserveEpoch();
+  size_t Cards = (S.capacityBytes() + CardBytes - 1) / CardBytes;
+  Entries.assign(Cards, Unknown);
+}

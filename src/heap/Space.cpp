@@ -26,9 +26,11 @@ void Space::reserve(size_t Bytes) {
   Next = Base;
   Limit = Base + Words;
   SoftLimit = Limit;
+  ++ReserveEpoch;
 }
 
 void Space::release() {
   std::free(Base);
   Base = Next = Limit = SoftLimit = nullptr;
+  ++ReserveEpoch;
 }

@@ -149,6 +149,12 @@ public:
   /// One-past-the-end allocation frontier.
   Word *frontier() const { return Next; }
 
+  /// Monotonic count of reserve()/release() calls. Side tables bound to
+  /// this space (CardTable, CrossingMap) capture it at attach time and
+  /// compare it later, turning a stale attach after a re-reserve into a
+  /// loud assertion instead of silent marks against a freed base address.
+  uint64_t reserveEpoch() const { return ReserveEpoch; }
+
   /// Walks every object in allocation order, invoking
   /// \p Fn(PayloadPtr, LiveDescriptor, IsForwarded). For forwarded objects
   /// the descriptor is fetched from the copy so the walk can still compute
@@ -178,6 +184,7 @@ private:
   Word *Next = nullptr;
   Word *Limit = nullptr;
   Word *SoftLimit = nullptr;
+  uint64_t ReserveEpoch = 0;
 };
 
 } // namespace tilgc

@@ -9,8 +9,10 @@
 /// mutator unconditionally appends the address of every mutated pointer slot;
 /// the collector filters the buffer at each collection. Duplicates are NOT
 /// removed — that is precisely the pathology the paper observes on Peg
-/// (2.97M pointer updates flooding root processing), and the card-table
-/// variant in heap/CardTable.h exists to demonstrate the suggested fix.
+/// (2.97M pointer updates flooding root processing). The card-table
+/// variant in heap/CardTable.h implements the suggested fix, and the
+/// Hybrid barrier watches this buffer's size to degrade to cards
+/// automatically when it floods (replaying pending entries at the switch).
 ///
 //===----------------------------------------------------------------------===//
 

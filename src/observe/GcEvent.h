@@ -50,13 +50,15 @@ enum class GcTrigger : uint8_t {
 /// chrome://tracing complete-event each).
 enum class GcPhase : uint8_t {
   StackScan,   ///< Shadow-stack + register root scan (paper GC-stack).
-  SsbFilter,   ///< Heap-side root gathering: SSB/card filter, pretenured
+  SsbFilter,   ///< Heap-side root gathering: SSB filter, pretenured
                ///< region scan, new large objects.
+  CardScan,    ///< Dirty-card sweep through the crossing map (CardMarking
+               ///< and post-switch Hybrid barriers).
   RootHandoff, ///< Handing root spans to the evacuation engine.
   Copy,        ///< Evacuation drain (paper GC-copy).
   Resize,      ///< Space reservation / post-collection resize + sweeps.
 };
-inline constexpr unsigned NumGcPhases = 5;
+inline constexpr unsigned NumGcPhases = 6;
 
 /// Display name of a phase (trace export, reports).
 const char *gcPhaseName(GcPhase P);
@@ -100,6 +102,23 @@ struct GcEvent {
   uint64_t FramesReused = 0; ///< §5 marker hits served from the cache.
   /// Write-barrier entries filtered into roots by this collection.
   uint64_t SsbEntriesProcessed = 0;
+  /// Crossing-map records since the previous collection (pretenured
+  /// allocations plus objects promoted by this collection; pad fillers are
+  /// recorded in the map but not counted, since padding varies with thread
+  /// count). Deterministic across GcThreads.
+  uint64_t CrossingMapUpdates = 0;
+  /// True when the Hybrid barrier degraded SSB→cards since the previous
+  /// collection. Mutator-side and placement-independent: deterministic.
+  bool HybridSwitched = false;
+
+  // --- Engine-dependent counters (like BytesPromoted, excluded from the
+  // deterministic slice): dirty-card geometry depends on where promotion
+  // placed objects, which varies with the parallel evacuator's block
+  // scheduling. Serial runs are still deterministic run-to-run. ----------
+  /// Dirty cards pending at the start of this collection (minors only).
+  uint64_t DirtyCards = 0;
+  /// Dirty cards actually walked by this collection's card sweep.
+  uint64_t CardsScanned = 0;
 
   // --- Configuration / outcome -----------------------------------------
   uint32_t Workers = 1; ///< Evacuation threads configured.
@@ -111,9 +130,9 @@ struct GcEvent {
   uint64_t EndNs = 0;
   uint64_t PauseNs = 0; ///< EndNs - BeginNs.
   /// First entry into each phase (0 = phase never ran).
-  uint64_t PhaseBeginNs[NumGcPhases] = {0, 0, 0, 0, 0};
+  uint64_t PhaseBeginNs[NumGcPhases] = {};
   /// Accumulated time inside each phase (a phase may be entered twice).
-  uint64_t PhaseDurNs[NumGcPhases] = {0, 0, 0, 0, 0};
+  uint64_t PhaseDurNs[NumGcPhases] = {};
 
   /// Per-worker activity (parallel evacuation, armed telemetry only).
   std::vector<GcWorkerSpan> WorkerSpans;

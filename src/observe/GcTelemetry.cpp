@@ -16,6 +16,8 @@ const char *gcPhaseName(GcPhase P) {
     return "stack-scan";
   case GcPhase::SsbFilter:
     return "ssb-filter";
+  case GcPhase::CardScan:
+    return "card-scan";
   case GcPhase::RootHandoff:
     return "root-handoff";
   case GcPhase::Copy:

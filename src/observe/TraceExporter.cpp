@@ -97,6 +97,14 @@ std::string TraceExporter::render(const EventRecorder &R) {
     appendU64(Out, E.FramesReused);
     Out += ",\"ssb_entries\":";
     appendU64(Out, E.SsbEntriesProcessed);
+    Out += ",\"dirty_cards\":";
+    appendU64(Out, E.DirtyCards);
+    Out += ",\"cards_scanned\":";
+    appendU64(Out, E.CardsScanned);
+    Out += ",\"crossing_map_updates\":";
+    appendU64(Out, E.CrossingMapUpdates);
+    Out += ",\"hybrid_switched\":";
+    Out += E.HybridSwitched ? "true" : "false";
     Out += ",\"workers\":";
     appendU64(Out, E.Workers);
     Out += ",\"worker_faults\":";

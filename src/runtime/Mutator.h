@@ -82,7 +82,8 @@ struct MutatorConfig {
   bool CompiledScanPlans = true;
   /// Pretenuring decisions (§6); generational only.
   std::vector<PretenureDecision> Pretenure;
-  /// Write barrier flavor; generational only.
+  /// Write barrier flavor; generational only. Hybrid starts as an SSB and
+  /// degrades to card marking when the flood heuristic trips (Peg).
   GenerationalCollector::BarrierKind Barrier =
       GenerationalCollector::BarrierKind::SequentialStoreBuffer;
   /// 1 = promote-all; >1 = aged-tenuring ablation.

@@ -7,8 +7,13 @@
 #include "runtime/Mutator.h"
 
 #include "workloads/MLLib.h"
+#include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
+#include <utility>
+#include <vector>
 
 using namespace tilgc;
 using namespace tilgc::mllib;
@@ -212,3 +217,205 @@ TEST(GenerationalTest, SemispaceMarkersAlsoReuseDecodes) {
   EXPECT_GT(S.FramesReused, S.FramesScanned)
       << "deep stable prefix must be served from the cache";
 }
+
+//===----------------------------------------------------------------------===//
+// Hybrid barrier: SSB until the flood heuristic trips, cards afterwards.
+//===----------------------------------------------------------------------===//
+
+TEST(HybridBarrierTest, FloodDegradesToCardsWithoutLosingPendingEntries) {
+  MutatorConfig C;
+  C.BudgetBytes = 512u << 10;
+  C.Barrier = GenerationalCollector::BarrierKind::Hybrid;
+  Mutator M(C);
+  auto &GC = static_cast<GenerationalCollector &>(M.collector());
+  Frame F(M, keyGc());
+
+  // A tenured pointer array to flood stores into.
+  F.set(1, M.allocPtrArray(siteGc(), 256));
+  M.collect(false);
+  ASSERT_TRUE(GC.inTenured(F.get(1).asPtr()));
+  ASSERT_FALSE(GC.hybridInCardMode());
+  uint64_t Threshold = GC.hybridFloodThreshold();
+  ASSERT_GT(Threshold, 0u);
+
+  // A young child reachable ONLY through a pre-switch SSB entry: the switch
+  // must replay it into a card mark or the child dies.
+  F.set(2, consInt(M, siteGc(), 4242, slot(F, 3)));
+  M.writeField(F.get(1), 7, F.get(2), /*IsPointerField=*/true);
+  F.set(2, Value::null());
+
+  // Peg-style flood: the same slot mutated far past the dirty-card
+  // capacity of the whole tenured space.
+  for (uint64_t I = 0; I <= Threshold; ++I)
+    M.writeField(F.get(1), 100, Value::null(), /*IsPointerField=*/true);
+  EXPECT_TRUE(GC.hybridInCardMode()) << "flood heuristic never tripped";
+  EXPECT_EQ(GC.storeBuffer().size(), 0u) << "pending SSB not drained";
+  EXPECT_EQ(M.gcStats().HybridSwitches, 1u);
+  EXPECT_EQ(M.gcStats().HybridSwitchEpoch, M.gcStats().NumGC + 1);
+
+  M.collect(false);
+  Value Kept = Mutator::getField(F.get(1), 7);
+  ASSERT_FALSE(Kept.isNull()) << "replayed SSB entry lost at the switch";
+  EXPECT_EQ(headInt(Kept), 4242);
+  EXPECT_GT(M.gcStats().CardsScanned, 0u) << "post-switch minors scan cards";
+
+  // The switch is sticky: further stores keep dirtying cards, not the SSB.
+  M.writeField(F.get(1), 100, Value::null(), /*IsPointerField=*/true);
+  EXPECT_EQ(GC.storeBuffer().size(), 0u);
+  EXPECT_TRUE(GC.hybridInCardMode());
+  EXPECT_EQ(M.gcStats().HybridSwitches, 1u);
+}
+
+TEST(HybridBarrierTest, QuietWorkloadStaysPreciseSsb) {
+  // The same moderate mutation pattern under Hybrid and plain SSB: the
+  // hybrid must never switch and must record exactly the same entries.
+  auto run = [](GenerationalCollector::BarrierKind B) {
+    MutatorConfig C;
+    C.BudgetBytes = 1u << 20;
+    C.Barrier = B;
+    Mutator M(C);
+    Frame F(M, keyGc());
+    for (int Round = 0; Round < 50; ++Round) {
+      for (int I = 0; I < 500; ++I)
+        F.set(1, consInt(M, siteGc(), I, slot(F, 1)));
+      M.writeField(F.get(1), 1, Value::null(), /*IsPointerField=*/true);
+      if (Round % 10 == 0)
+        F.set(1, Value::null());
+    }
+    auto &GC = static_cast<GenerationalCollector &>(M.collector());
+    EXPECT_FALSE(GC.hybridInCardMode());
+    EXPECT_EQ(M.gcStats().HybridSwitchEpoch, 0u);
+    if (B == GenerationalCollector::BarrierKind::Hybrid) {
+      // The card table + crossing map are maintained from construction so
+      // promotions preceding a potential switch are already covered.
+      EXPECT_GT(M.gcStats().CrossingMapUpdates, 0u);
+      EXPECT_EQ(M.gcStats().CardsScanned, 0u)
+          << "pre-switch hybrid must process roots through the SSB";
+    }
+    return GC.storeBuffer().totalRecorded();
+  };
+  uint64_t Ssb = run(GenerationalCollector::BarrierKind::SequentialStoreBuffer);
+  uint64_t Hybrid = run(GenerationalCollector::BarrierKind::Hybrid);
+  ASSERT_GT(Ssb, 0u);
+  EXPECT_EQ(Hybrid, Ssb);
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier differential: every workload computes the same checksum and
+// derives the same site profile and pretenure set under every write-barrier
+// kind and every GcThreads setting.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr double BarrierDiffScale = 0.1;
+
+/// The deterministic outcome of one profiled workload run. CopiedBytes is
+/// carried too, but compared only between serial runs: parallel copy-block
+/// padding shifts where major collections land, so lifetime copied-bytes is
+/// engine-dependent across thread counts (the same reason GcEvent excludes
+/// BytesPromoted from its deterministic slice).
+struct RunOutcome {
+  uint64_t Checksum = 0;
+  uint64_t ProfiledAllocBytes = 0;
+  uint64_t ProfiledCopiedBytes = 0;
+  std::vector<std::pair<uint32_t, bool>> PretenureSet; // (site, no-scan)
+};
+
+RunOutcome profiledRun(size_t WIdx, GenerationalCollector::BarrierKind B,
+                       unsigned Threads) {
+  Workload &W = *allWorkloads()[WIdx];
+  MutatorConfig C;
+  C.Kind = CollectorKind::Generational;
+  C.BudgetBytes = 1u << 20;
+  C.Barrier = B;
+  C.GcThreads = Threads;
+  C.EnableProfiling = true;
+  Mutator M(C);
+  RunOutcome R;
+  R.Checksum = W.run(M, BarrierDiffScale);
+  const HeapProfiler *P = M.profiler();
+  R.ProfiledAllocBytes = P->totalAllocBytes();
+  R.ProfiledCopiedBytes = P->totalCopiedBytes();
+  for (const PretenureDecision &D : P->derivePretenureSet())
+    R.PretenureSet.emplace_back(D.SiteId, D.EliminateScan);
+  return R;
+}
+
+const std::vector<RunOutcome> &serialSsbBaseline() {
+  static const std::vector<RunOutcome> Baseline = [] {
+    std::vector<RunOutcome> Out;
+    for (size_t WIdx = 0; WIdx < allWorkloads().size(); ++WIdx)
+      Out.push_back(profiledRun(
+          WIdx, GenerationalCollector::BarrierKind::SequentialStoreBuffer,
+          1));
+    return Out;
+  }();
+  return Baseline;
+}
+
+struct BarrierDiffCase {
+  GenerationalCollector::BarrierKind Barrier;
+  unsigned Threads;
+  const char *Name;
+};
+
+class BarrierDifferential
+    : public ::testing::TestWithParam<BarrierDiffCase> {};
+
+} // namespace
+
+TEST_P(BarrierDifferential, AllWorkloadsMatchSerialSsb) {
+  const BarrierDiffCase &TC = GetParam();
+  const std::vector<RunOutcome> &Baseline = serialSsbBaseline();
+  ASSERT_EQ(Baseline.size(), allWorkloads().size());
+  for (size_t WIdx = 0; WIdx < allWorkloads().size(); ++WIdx) {
+    Workload &W = *allWorkloads()[WIdx];
+    ASSERT_EQ(Baseline[WIdx].Checksum, W.expected(BarrierDiffScale))
+        << W.name() << ": baseline run is itself wrong";
+    RunOutcome Got = profiledRun(WIdx, TC.Barrier, TC.Threads);
+    EXPECT_EQ(Got.Checksum, Baseline[WIdx].Checksum)
+        << W.name() << " under " << TC.Name;
+    EXPECT_EQ(Got.ProfiledAllocBytes, Baseline[WIdx].ProfiledAllocBytes)
+        << W.name() << " under " << TC.Name;
+    if (TC.Threads == 1)
+      EXPECT_EQ(Got.ProfiledCopiedBytes, Baseline[WIdx].ProfiledCopiedBytes)
+          << W.name() << " under " << TC.Name;
+    EXPECT_EQ(Got.PretenureSet, Baseline[WIdx].PretenureSet)
+        << W.name() << " under " << TC.Name << ": pretenure set diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BarriersByThreads, BarrierDifferential,
+    ::testing::Values(
+        BarrierDiffCase{
+            GenerationalCollector::BarrierKind::SequentialStoreBuffer, 2,
+            "ssb_t2"},
+        BarrierDiffCase{
+            GenerationalCollector::BarrierKind::SequentialStoreBuffer, 8,
+            "ssb_t8"},
+        BarrierDiffCase{
+            GenerationalCollector::BarrierKind::FilteredStoreBuffer, 1,
+            "filtered_t1"},
+        BarrierDiffCase{
+            GenerationalCollector::BarrierKind::FilteredStoreBuffer, 2,
+            "filtered_t2"},
+        BarrierDiffCase{
+            GenerationalCollector::BarrierKind::FilteredStoreBuffer, 8,
+            "filtered_t8"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::CardMarking, 1,
+                        "cards_t1"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::CardMarking, 2,
+                        "cards_t2"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::CardMarking, 8,
+                        "cards_t8"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::Hybrid, 1,
+                        "hybrid_t1"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::Hybrid, 2,
+                        "hybrid_t2"},
+        BarrierDiffCase{GenerationalCollector::BarrierKind::Hybrid, 8,
+                        "hybrid_t8"}),
+    [](const ::testing::TestParamInfo<BarrierDiffCase> &Info) {
+      return std::string(Info.param.Name);
+    });

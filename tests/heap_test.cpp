@@ -141,12 +141,16 @@ TEST(CardTableTest, MarkAndScanDirtyFields) {
   Space S;
   S.reserve(64 * 1024);
   CardTable CT;
+  CrossingMap CM;
   CT.attach(S);
+  CM.attach(S);
 
   // Two pointer arrays far enough apart to live on different cards.
   Word DBig = header::make(ObjectKind::PtrArray, 256);
   Word *A = S.allocate(DBig, meta::make(1, 0));
+  CM.recordObject(A - HeaderWords, objectTotalWords(DBig));
   Word *B = S.allocate(DBig, meta::make(2, 0));
+  CM.recordObject(B - HeaderWords, objectTotalWords(DBig));
   for (unsigned I = 0; I < 256; ++I)
     A[I] = B[I] = 0;
 
@@ -155,7 +159,7 @@ TEST(CardTableTest, MarkAndScanDirtyFields) {
   EXPECT_EQ(CT.numDirtyCards(), 2u);
 
   std::vector<Word *> Fields;
-  CT.forEachDirtyField(S, [&](Word *F) { Fields.push_back(F); });
+  CT.forEachDirtyField(S, CM, [&](Word *F) { Fields.push_back(F); });
   // Every visited field must be on a dirty card; the specific marked slots
   // must be included.
   EXPECT_NE(std::find(Fields.begin(), Fields.end(), &A[3]), Fields.end());

@@ -522,14 +522,20 @@ TEST(ObserveAudits, PretenureFlipsCarryEvidence) {
 //===----------------------------------------------------------------------===//
 
 /// The deterministic slice of an event (GcEvent's field-by-field contract;
-/// timing, worker spans and BytesPromoted — which includes parallel block
-/// padding — are excluded).
+/// timing, worker spans, BytesPromoted — which includes parallel block
+/// padding — and DirtyCards/CardsScanned — whose card population depends on
+/// object placement — are excluded).
 using EventKey = std::tuple<uint64_t, int, int, uint64_t, uint64_t, uint64_t,
-                            uint64_t, uint64_t, uint64_t, uint64_t>;
+                            uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                            bool>;
 
-std::vector<EventKey> eventStream(CollectorKind Kind, unsigned Threads) {
+std::vector<EventKey>
+eventStream(CollectorKind Kind, unsigned Threads,
+            GenerationalCollector::BarrierKind Barrier =
+                GenerationalCollector::BarrierKind::SequentialStoreBuffer) {
   EventRecorder Rec;
   MutatorConfig Cfg = explicitOnlyConfig(Kind, Threads);
+  Cfg.Barrier = Barrier;
   Cfg.Observer = &Rec;
   Mutator M(Cfg);
   churn(M);
@@ -540,7 +546,8 @@ std::vector<EventKey> eventStream(CollectorKind Kind, unsigned Threads) {
     Keys.emplace_back(E.Seq, int(E.Gen), int(E.Trigger), E.BytesCopied,
                       E.ObjectsCopied, E.FramesAtGC, E.FramesScanned,
                       E.FramesReused, E.SsbEntriesProcessed,
-                      E.BytesPretenured);
+                      E.BytesPretenured, E.CrossingMapUpdates,
+                      E.HybridSwitched);
   }
   return Keys;
 }
@@ -562,8 +569,81 @@ TEST_P(ObserveParallelDeterminism, SemispaceEventStreamMatchesSerial) {
   EXPECT_EQ(eventStream(CollectorKind::Semispace, GetParam()), Serial);
 }
 
+TEST_P(ObserveParallelDeterminism, CardMarkingEventStreamMatchesSerial) {
+  // CrossingMapUpdates (promoted-object recordings) and the card-mode
+  // SsbEntriesProcessed (LOS side-buffer only) must be thread-invariant.
+  static const std::vector<EventKey> Serial = eventStream(
+      CollectorKind::Generational, 1,
+      GenerationalCollector::BarrierKind::CardMarking);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(eventStream(CollectorKind::Generational, GetParam(),
+                        GenerationalCollector::BarrierKind::CardMarking),
+            Serial);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ObserveParallelDeterminism,
                          ::testing::Values(1u, 2u, 8u));
+
+TEST(ObserveCardFields, SerialRerunsReproduceCardCounters) {
+  // DirtyCards/CardsScanned are engine-dependent across thread counts but
+  // must still be reproducible run-to-run on the same engine.
+  auto CardCounters = [](unsigned Threads) {
+    EventRecorder Rec;
+    MutatorConfig Cfg =
+        explicitOnlyConfig(CollectorKind::Generational, Threads);
+    Cfg.Barrier = GenerationalCollector::BarrierKind::CardMarking;
+    Cfg.Observer = &Rec;
+    Mutator M(Cfg);
+    churn(M);
+    std::vector<std::pair<uint64_t, uint64_t>> Out;
+    for (size_t I = 0; I < Rec.size(); ++I)
+      Out.emplace_back(Rec.event(I).DirtyCards, Rec.event(I).CardsScanned);
+    return Out;
+  };
+  auto A = CardCounters(1);
+  ASSERT_FALSE(A.empty());
+  bool SawDirty = false;
+  for (const auto &P : A)
+    SawDirty |= P.first > 0;
+  EXPECT_TRUE(SawDirty) << "churn's barriered stores never dirtied a card";
+  EXPECT_EQ(CardCounters(1), A);
+}
+
+TEST(ObserveHybrid, SwitchLatchAppearsOnExactlyOneEvent) {
+  EventRecorder Rec;
+  MutatorConfig Cfg;
+  Cfg.Kind = CollectorKind::Generational;
+  Cfg.BudgetBytes = 1u << 20;
+  Cfg.Barrier = GenerationalCollector::BarrierKind::Hybrid;
+  Cfg.Observer = &Rec;
+  Mutator M(Cfg);
+  auto &GC = static_cast<GenerationalCollector &>(M.collector());
+  {
+    Frame F(M, obsRootsKey());
+    F.set(1, M.allocPtrArray(obsSite(0), 256));
+    M.collect(/*Major=*/false); // Tenure the flood target.
+    ASSERT_FALSE(GC.hybridInCardMode());
+    for (uint64_t I = 0; I <= GC.hybridFloodThreshold(); ++I)
+      M.writeField(F.get(1), 9, Value::null(), /*IsPointerField=*/true);
+    ASSERT_TRUE(GC.hybridInCardMode());
+    M.collect(/*Major=*/false); // First post-switch event.
+    M.collect(/*Major=*/false); // Latch must not stick to later events.
+  }
+  unsigned Switched = 0;
+  for (size_t I = 0; I < Rec.size(); ++I)
+    Switched += Rec.event(I).HybridSwitched;
+  EXPECT_EQ(Switched, 1u);
+  // The switch event is the first collection after the flood, and it scans
+  // the replayed dirty cards.
+  const GcEvent *SwitchEv = nullptr;
+  for (size_t I = 0; I < Rec.size(); ++I)
+    if (Rec.event(I).HybridSwitched)
+      SwitchEv = &Rec.event(I);
+  ASSERT_NE(SwitchEv, nullptr);
+  EXPECT_GT(SwitchEv->DirtyCards, 0u);
+  EXPECT_GT(SwitchEv->CardsScanned, 0u);
+  EXPECT_EQ(M.gcStats().HybridSwitches, 1u);
+}
 
 //===----------------------------------------------------------------------===//
 // Trace export.
@@ -738,6 +818,26 @@ TEST(TraceExport, MutatorWritesTraceFileAtDestruction) {
   JsonChecker Checker(Contents);
   EXPECT_TRUE(Checker.valid());
   EXPECT_NE(Contents.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExport, CardConfigEmitsCardScanPhaseAndCounters) {
+  EventRecorder Rec;
+  MutatorConfig Cfg = explicitOnlyConfig(CollectorKind::Generational, 1);
+  Cfg.Barrier = GenerationalCollector::BarrierKind::CardMarking;
+  Cfg.Observer = &Rec;
+  {
+    Mutator M(Cfg);
+    churn(M, 2000);
+  }
+  std::string Json = TraceExporter::render(Rec);
+  JsonChecker Checker(Json);
+  EXPECT_TRUE(Checker.valid()) << Json.substr(0, 400);
+  EXPECT_NE(Json.find("card-scan"), std::string::npos)
+      << "card-mode minors must stamp the card-scan phase";
+  EXPECT_NE(Json.find("\"dirty_cards\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cards_scanned\""), std::string::npos);
+  EXPECT_NE(Json.find("\"crossing_map_updates\""), std::string::npos);
+  EXPECT_NE(Json.find("\"hybrid_switched\""), std::string::npos);
 }
 
 TEST(TraceExport, SerialTraceHasNoWorkerTracks) {
