@@ -39,7 +39,9 @@ Measurement bench::runWorkload(Workload &W, const MutatorConfig &Config,
   R.RecordBytes = S.RecordBytesAllocated;
   R.ArrayBytes = S.ArrayBytesAllocated;
   R.BytesCopied = S.BytesCopied;
+  R.MajorBytesMoved = S.MajorBytesMoved;
   R.MaxLiveBytes = S.MaxLiveBytes;
+  R.MaxFootprintBytes = S.MaxFootprintBytes;
   R.MaxFrames = S.MaxFramesAtGC;
   R.AvgFrames = S.avgFramesAtGC();
   R.AvgNewFrames = S.avgNewFramesAtGC();

@@ -38,7 +38,13 @@ struct Measurement {
   uint64_t RecordBytes = 0;
   uint64_t ArrayBytes = 0;
   uint64_t BytesCopied = 0;
+  /// Bytes physically relocated by major collections alone (semispace: all
+  /// copied bytes; mark-compact: slid runs + promotions only).
+  uint64_t MajorBytesMoved = 0;
   uint64_t MaxLiveBytes = 0;
+  /// Reserved-space high-water mark across the run (nursery + tenured
+  /// space(s) + LOS): the standing-footprint cost of the collector mode.
+  uint64_t MaxFootprintBytes = 0;
   uint64_t MaxFrames = 0;
   double AvgFrames = 0;
   double AvgNewFrames = 0;

@@ -31,6 +31,7 @@ int main(int Argc, char **Argv) {
   Table Space("Semispace: collections and copying (paper Table 3, bottom)");
   Space.setHeader({"Program", "GCs k=1.5", "GCs k=2", "GCs k=4",
                    "Copied k=1.5", "Copied k=2", "Copied k=4",
+                   "Peak k=1.5", "Peak k=4",
                    "p50 k=4", "p99 k=4", "Max k=4"});
 
   for (const auto &W : allWorkloads()) {
@@ -50,6 +51,8 @@ int main(int Argc, char **Argv) {
                   formatString("%llu", (unsigned long long)M[2].NumGC),
                   formatBytes(M[0].BytesCopied), formatBytes(M[1].BytesCopied),
                   formatBytes(M[2].BytesCopied),
+                  formatBytes(M[0].MaxFootprintBytes),
+                  formatBytes(M[2].MaxFootprintBytes),
                   pauseUs(M[2].MajorPauseP50Us), pauseUs(M[2].MajorPauseP99Us),
                   pauseUs(M[2].MaxPauseUs)});
   }

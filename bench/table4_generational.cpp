@@ -31,6 +31,7 @@ int main(int Argc, char **Argv) {
   Table Space("Generational: collections, copying, frame depth (bottom)");
   Space.setHeader({"Program", "GCs k=1.5", "GCs k=2", "GCs k=4",
                    "Majors k=4", "Copied k=1.5", "Copied k=2", "Copied k=4",
+                   "Peak k=1.5", "Peak k=4",
                    "Avg Frames", "Minor p99 k=4", "Major p99 k=4"});
 
   for (const auto &W : allWorkloads()) {
@@ -51,6 +52,8 @@ int main(int Argc, char **Argv) {
                   formatString("%llu", (unsigned long long)M[2].NumMajorGC),
                   formatBytes(M[0].BytesCopied), formatBytes(M[1].BytesCopied),
                   formatBytes(M[2].BytesCopied),
+                  formatBytes(M[0].MaxFootprintBytes),
+                  formatBytes(M[2].MaxFootprintBytes),
                   formatString("%.1f", M[2].AvgFrames),
                   pauseUs(M[2].MinorPauseP99Us),
                   pauseUs(M[2].MajorPauseP99Us)});

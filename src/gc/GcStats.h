@@ -40,6 +40,17 @@ struct GcStats {
   // Live-data accounting (sampled after each collection).
   uint64_t MaxLiveBytes = 0;
 
+  /// Reserved-footprint high-water (all spaces' capacities + live LOS
+  /// bytes), sampled at collection boundaries and LOS growth — the peak the
+  /// hard cap actually constrains. The mark-compact major's reason to
+  /// exist: it needs no to-space reservation, so this stays near 1× live.
+  uint64_t MaxFootprintBytes = 0;
+
+  /// Bytes physically relocated by major collections (semispace majors:
+  /// everything copied; mark-compact majors: slid runs + promoted
+  /// survivors only). The pause-work metric EXPERIMENTS.md tracks.
+  uint64_t MajorBytesMoved = 0;
+
   // Stack-scan accounting.
   uint64_t FramesScanned = 0;
   uint64_t FramesReused = 0;
@@ -80,6 +91,8 @@ struct GcStats {
   uint64_t HeapExhaustedThrows = 0; ///< Terminal ladder failures surfaced.
   uint64_t EvacWorkerFaults = 0;    ///< Parallel-evacuation workers faulted.
   uint64_t EvacSerialRecoveries = 0; ///< Evacuations finished by serial drain.
+  uint64_t MarkWorkerFaults = 0;    ///< Parallel-mark workers faulted.
+  uint64_t MarkSerialRecoveries = 0; ///< Marks finished by a serial re-trace.
 
   // Time split. StackTime and CopyTime accumulate inside GcTime regions;
   // the remainder of GcTime is bookkeeping (resizing, sweeping).

@@ -8,6 +8,7 @@
 
 #include "gc/Evacuator.h"
 #include "gc/HeapVerifier.h"
+#include "gc/MarkCompact.h"
 #include "gc/ParallelEvacuator.h"
 #include "support/Fatal.h"
 #include "support/Table.h"
@@ -36,7 +37,14 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
       Opts.BudgetBytes > NurseryFoot ? (Opts.BudgetBytes - NurseryFoot) / 2 : 0;
   TenuredSize = std::max(TenuredSize, NurserySize + (16u << 10));
   TenuredA.reserve(TenuredSize);
-  TenuredB.reserve(TenuredSize);
+  if (Opts.MajorGc == MajorGcKind::Semispace) {
+    TenuredB.reserve(TenuredSize);
+  } else {
+    // Mark-compact keeps a single standing tenured space: TenuredB stays
+    // unreserved (capacity 0) until a growth fallback transiently needs it,
+    // and the region overlay binds to the live space from the start.
+    Regions.attach(TenuredA);
+  }
 
   for (const PretenureDecision &Dec : Opts.Pretenure) {
     if (Dec.SiteId >= PretenureFlag.size())
@@ -82,6 +90,7 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
   SSB.reserve(4096);
   RootBatch.reserve(1024);
   MinorCrossGen.reserve(256);
+  noteFootprint();
 }
 
 GenerationalCollector::~GenerationalCollector() = default;
@@ -90,6 +99,12 @@ size_t GenerationalCollector::footprintBytes() const {
   return NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1) +
          TenuredFrom->capacityBytes() + TenuredTo->capacityBytes() +
          LOS.liveBytes();
+}
+
+void GenerationalCollector::noteFootprint() {
+  size_t F = footprintBytes();
+  if (F > Stats.MaxFootprintBytes)
+    Stats.MaxFootprintBytes = F;
 }
 
 Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
@@ -124,6 +139,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     Word *Payload = LOS.allocate(Descriptor, makeMeta(SiteId));
     NewLargeObjects.push_back(Payload);
     LOSAllocSinceGC += Total;
+    noteFootprint();
     accountAllocation(Kind, Descriptor, SiteId);
     std::memset(Payload, 0, PayloadBytes);
     return Payload;
@@ -669,6 +685,14 @@ void GenerationalCollector::auditRememberedSets() {
 
 void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
                                     GcTrigger Trigger) {
+  if (Opts.MajorGc == MajorGcKind::MarkCompact)
+    doMajorMarkCompact(NeedTenuredBytes, Trigger);
+  else
+    doMajorSemispace(NeedTenuredBytes, Trigger);
+}
+
+void GenerationalCollector::doMajorSemispace(size_t NeedTenuredBytes,
+                                             GcTrigger Trigger) {
   FaultInjector::ScopedGcPhase GcPhase;
 
   // TenuredTo has sat idle since the last major; if it was left poisoned,
@@ -708,10 +732,77 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
   accountStackAtGC();
   scanStackForRoots();
 
-  if (TenuredTo->capacityBytes() < Reserve) {
-    GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
-    TenuredTo->reserve(Reserve);
+  evacuateMajorInto(Reserve);
+
+  {
+    GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+
+    // Resize the now-empty to-space toward the target liveness ratio within
+    // the memory budget (the live space's capacity catches up next major).
+    size_t NurseryFoot =
+        NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1);
+    size_t Desired = static_cast<size_t>(static_cast<double>(LiveBytes) /
+                                         Opts.TenuredTargetLiveness);
+    size_t MinSize = TenuredFrom->usedBytes() + NurseryFrom->capacityBytes() +
+                     NeedTenuredBytes + (16u << 10);
+    size_t MaxSize = MinSize;
+    size_t NonTenured = NurseryFoot + LOS.liveBytes();
+    if (Opts.BudgetBytes > NonTenured + 2 * MinSize)
+      MaxSize = (Opts.BudgetBytes - NonTenured) / 2;
+    else
+      ++Stats.BudgetOverruns;
+    Desired = std::clamp(Desired, MinSize, MaxSize);
+    // Under a hard cap, never reserve a to-space the cap could not absorb at
+    // the next major — but never below MinSize either (this allocation
+    // already succeeded; if MinSize itself breaches the cap, the next
+    // major's pre-flight throws before moving anything).
+    if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+      size_t Standing = NonTenured + TenuredFrom->capacityBytes();
+      size_t Room =
+          Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
+      Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
+    }
+    TenuredTo->reserve(Desired);
+    noteFootprint();
+
+    if (TILGC_UNLIKELY(shouldPoison())) {
+      NurseryFrom->poisonFreeSpace();
+      if (AgedTenuring())
+        NurseryTo->poisonFreeSpace();
+      TenuredTo->poisonFreeSpace();
+      TenuredToPoisonValid = true;
+    }
+
+    if (usesCardBarrier()) {
+      // The card table re-attaches to the (swapped-in) live space; the
+      // crossing map was attached to it before evacuation and stays.
+      Cards.attach(*TenuredFrom);
+      recomputeHybridThreshold();
+      assert(CrossMap.boundTo(*TenuredFrom) &&
+             "crossing map lost the tenured swap");
+    }
+    LOSAllocSinceGC = 0;
   }
+  maybeVerifyHeap("major");
+
+  if (GcEvent *Ev = Tel.currentEvent()) {
+    Ev->BytesPretenured = Stats.PretenuredBytes - PretenuredBytesAtLastGC;
+    Ev->CrossingMapUpdates = Stats.CrossingMapUpdates - CrossingUpdatesAtLastGC;
+    Ev->HybridSwitched = HybridSwitchedSinceGC;
+  }
+  PretenuredBytesAtLastGC = Stats.PretenuredBytes;
+  CrossingUpdatesAtLastGC = Stats.CrossingMapUpdates;
+  HybridSwitchedSinceGC = false;
+  Tel.endCollection();
+  noteFootprint();
+}
+
+void GenerationalCollector::evacuateMajorInto(size_t ReserveBytes) {
+  if (TenuredTo->capacityBytes() < ReserveBytes) {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::Resize);
+    TenuredTo->reserve(ReserveBytes);
+  }
+  noteFootprint();
   // Rebind the crossing map to the destination (after any growth above):
   // promotions recorded during this evacuation must survive the swap, so
   // the map is NOT re-attached afterwards — it already covers the new
@@ -750,12 +841,14 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
     Stats.CrossingMapUpdates += E.crossingMapUpdates();
+    Stats.MajorBytesMoved += E.bytesCopied();
     Stats.EvacWorkerFaults += E.workerFaults();
     if (E.workerFaults())
       ++Stats.EvacSerialRecoveries;
     if (GcEvent *Ev = Tel.currentEvent()) {
       Ev->BytesCopied = E.bytesCopied();
       Ev->ObjectsCopied = E.objectsCopied();
+      Ev->BytesMoved = E.bytesCopied();
       Ev->Workers = Opts.GcThreads;
       Ev->WorkerFaults = E.workerFaults();
       Ev->SerialRecovery = E.workerFaults() > 0;
@@ -779,9 +872,11 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     Stats.BytesCopied += E.bytesCopied();
     Stats.ObjectsCopied += E.objectsCopied();
     Stats.CrossingMapUpdates += E.crossingMapUpdates();
+    Stats.MajorBytesMoved += E.bytesCopied();
     if (GcEvent *Ev = Tel.currentEvent()) {
       Ev->BytesCopied = E.bytesCopied();
       Ev->ObjectsCopied = E.objectsCopied();
+      Ev->BytesMoved = E.bytesCopied();
     }
   }
 
@@ -815,51 +910,222 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
     LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes();
     if (LiveBytes > Stats.MaxLiveBytes)
       Stats.MaxLiveBytes = LiveBytes;
+  }
+}
 
-    // Resize the now-empty to-space toward the target liveness ratio within
-    // the memory budget (the live space's capacity catches up next major).
+void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
+                                               GcTrigger Trigger) {
+  FaultInjector::ScopedGcPhase GcPhase;
+
+  ++Stats.NumGC;
+  ++Stats.NumMajorGC;
+  Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
+  noteFootprint();
+  accountStackAtGC();
+  scanStackForRoots();
+
+  MarkCompact::Config MCC;
+  MCC.Young = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr};
+  MCC.Tenured = TenuredFrom;
+  MCC.Regions = &Regions;
+  MCC.LOS = &LOS;
+  MCC.Profiler = Env.Profiler;
+  MCC.Telemetry = &Tel;
+  if (usesCardBarrier())
+    MCC.CrossDest = &CrossMap;
+  MCC.Pool = Pool.get();
+  MarkCompact M(MCC);
+
+  {
+    TimerScope T(Stats.StackTime);
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
+    // Majors process reused roots too: everything moves, so the §5 saving
+    // is only the avoided re-decoding of unchanged frames.
+    M.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
+    M.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+    M.addRootSpan(Roots.ReusedSlotRoots.data(), Roots.ReusedSlotRoots.size());
+  }
+  {
+    TimerScope T(Stats.CopyTime);
+    M.mark(); // Mark phase scope inside.
+  }
+  Stats.MarkWorkerFaults += M.workerFaults();
+  if (M.serialRecovered())
+    ++Stats.MarkSerialRecoveries;
+
+  // Decide in place vs grow while nothing has moved. The floor leaves the
+  // next minor collection's worst case (a full nursery plus parallel block
+  // slack) so compaction does not immediately pressure-chain into another
+  // major.
+  size_t Planned = M.plannedTenuredBytes();
+  size_t MinorHeadroom = NurseryFrom->capacityBytes();
+  if (Pool)
+    MinorHeadroom += ParallelEvacuator::reserveSlackBytes(
+        NurseryFrom->capacityBytes(), Opts.GcThreads);
+  size_t Floor = Planned + NeedTenuredBytes + MinorHeadroom + (16u << 10);
+
+  if (Floor <= TenuredFrom->capacityBytes()) {
+    // In-place compaction: nothing is reserved and the footprint can only
+    // shrink, so there is no hard-cap pre-flight on this path — the
+    // unconditional pre-flight (and its sticky exhaustion) was only ever a
+    // semispace-reservation workaround.
+    uint64_t NowKB = allocStampKB();
+    if (Env.Profiler)
+      M.forEachDeadTenured([&](Word *Payload) {
+        Word Meta = metaOf(Payload);
+        Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+      });
+    {
+      TimerScope T(Stats.CopyTime);
+      M.compact(); // Fixup + Compact phase scopes inside.
+    }
+    Stats.BytesCopied += M.markedLiveBytes();
+    Stats.ObjectsCopied += M.markedObjects();
+    Stats.MajorBytesMoved += M.bytesMoved();
+    Stats.CrossingMapUpdates += M.crossingMapUpdates();
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      Ev->BytesCopied = M.markedLiveBytes();
+      Ev->ObjectsCopied = M.markedObjects();
+      Ev->BytesMoved = M.bytesMoved();
+      Ev->RegionsTotal = static_cast<uint32_t>(M.regionsTotal());
+      Ev->RegionsDense = static_cast<uint32_t>(M.regionsDense());
+      Ev->RegionsEvacuated = static_cast<uint32_t>(M.regionsEvacuated());
+      Ev->Workers = Opts.GcThreads;
+      Ev->WorkerFaults = M.workerFaults();
+      Ev->SerialRecovery = M.serialRecovered();
+    }
+    {
+      GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+      // The mark left exactly the live set's LOS bits set — what the sweep
+      // consumes. Tenured deaths were reported via forEachDeadTenured above
+      // (compaction destroys them); young deaths go through the
+      // forwarding-based sweep as usual.
+      LOS.sweep([&](Word *Payload, Word Descriptor) {
+        (void)Descriptor;
+        if (Env.Profiler) {
+          Word Meta = metaOf(Payload);
+          Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+        }
+      });
+      sweepDeaths(*NurseryFrom);
+      if (AgedTenuring())
+        sweepDeaths(*NurseryTo);
+
+      NurseryFrom->reset();
+      if (AgedTenuring())
+        NurseryTo->reset();
+      SSB.clear();
+      LOSDirtySlots.clear();
+      Runs.clear();
+      NewLargeObjects.clear();
+      CrossGenSlots.clear(); // A major promotes everything.
+
+      LiveBytes = TenuredFrom->usedBytes() + LOS.liveBytes();
+      if (LiveBytes > Stats.MaxLiveBytes)
+        Stats.MaxLiveBytes = LiveBytes;
+
+      if (TILGC_UNLIKELY(shouldPoison())) {
+        NurseryFrom->poisonFreeSpace();
+        if (AgedTenuring())
+          NurseryTo->poisonFreeSpace();
+        // The reclaimed tail past the rewound frontier is the mark-compact
+        // analog of evacuated from-space. Promotions legally consume it, so
+        // it never arms the TenuredToPoisonValid wild-write check.
+        TenuredFrom->poisonFreeSpace();
+      }
+
+      if (usesCardBarrier()) {
+        // No old->young edges survive a major, so re-attaching (which
+        // clears every card) is correct — same as the semispace swap. The
+        // crossing map was rebuilt over the compacted layout by compact().
+        Cards.attach(*TenuredFrom);
+        recomputeHybridThreshold();
+        assert(CrossMap.boundTo(*TenuredFrom) &&
+               "crossing map lost the compaction");
+      }
+      LOSAllocSinceGC = 0;
+    }
+  } else {
+    // The plan does not fit: grow through one evacuating swap, releasing
+    // the old space afterwards so the 2x reservation is transient rather
+    // than standing. The LOS is swept first — the mark is complete, and
+    // the evacuation's TraceLOS re-marking needs clean mark bits.
+    {
+      GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+      uint64_t NowKB = allocStampKB();
+      LOS.sweep([&](Word *Payload, Word Descriptor) {
+        (void)Descriptor;
+        if (Env.Profiler) {
+          Word Meta = metaOf(Payload);
+          Env.Profiler->onDeath(meta::site(Meta), NowKB - meta::birthKB(Meta));
+        }
+      });
+    }
+
+    size_t Desired = static_cast<size_t>(
+        static_cast<double>(M.markedLiveBytes() + LOS.liveBytes()) /
+        Opts.TenuredTargetLiveness);
     size_t NurseryFoot =
         NurseryFrom->capacityBytes() * (AgedTenuring() ? 2 : 1);
-    size_t Desired = static_cast<size_t>(static_cast<double>(LiveBytes) /
-                                         Opts.TenuredTargetLiveness);
-    size_t MinSize = TenuredFrom->usedBytes() + NurseryFrom->capacityBytes() +
-                     NeedTenuredBytes + (16u << 10);
-    size_t MaxSize = MinSize;
     size_t NonTenured = NurseryFoot + LOS.liveBytes();
-    if (Opts.BudgetBytes > NonTenured + 2 * MinSize)
-      MaxSize = (Opts.BudgetBytes - NonTenured) / 2;
+    size_t MaxSize = Floor;
+    // Only one tenured space stands in mark-compact mode, so the budget
+    // share is the full remainder rather than half of it.
+    if (Opts.BudgetBytes > NonTenured + Floor)
+      MaxSize = Opts.BudgetBytes - NonTenured;
     else
       ++Stats.BudgetOverruns;
-    Desired = std::clamp(Desired, MinSize, MaxSize);
-    // Under a hard cap, never reserve a to-space the cap could not absorb at
-    // the next major — but never below MinSize either (this allocation
-    // already succeeded; if MinSize itself breaches the cap, the next
-    // major's pre-flight throws before moving anything).
+    Desired = std::clamp(Desired, Floor, std::max(MaxSize, Floor));
     if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
-      size_t Standing = NonTenured + TenuredFrom->capacityBytes();
+      // The transient evacuation peak is the standing footprint plus the
+      // new reservation (TenuredTo's capacity is 0 in this mode).
+      size_t Standing = footprintBytes();
       size_t Room =
           Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
-      Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
-    }
-    TenuredTo->reserve(Desired);
-
-    if (TILGC_UNLIKELY(shouldPoison())) {
-      NurseryFrom->poisonFreeSpace();
-      if (AgedTenuring())
-        NurseryTo->poisonFreeSpace();
-      TenuredTo->poisonFreeSpace();
-      TenuredToPoisonValid = true;
+      if (Floor > Room) {
+        // Catchable refusal with the heap intact: nothing has moved, the
+        // LOS sweep only freed garbage and cleared mark bits, and no state
+        // is sticky — a retry after the mutator drops data can succeed.
+        Tel.endCollection();
+        throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Floor);
+      }
+      Desired = std::clamp(Desired, Floor, std::max(Room, Floor));
     }
 
-    if (usesCardBarrier()) {
-      // The card table re-attaches to the (swapped-in) live space; the
-      // crossing map was attached to it before evacuation and stays.
-      Cards.attach(*TenuredFrom);
-      recomputeHybridThreshold();
-      assert(CrossMap.boundTo(*TenuredFrom) &&
-             "crossing map lost the tenured swap");
+    if (GcEvent *Ev = Tel.currentEvent()) {
+      // The census of the abandoned plan explains why the space grew
+      // (captured before the region overlay re-binds to the grown space).
+      Ev->RegionsTotal = static_cast<uint32_t>(M.regionsTotal());
+      Ev->RegionsDense = static_cast<uint32_t>(M.regionsDense());
+      Ev->RegionsEvacuated = static_cast<uint32_t>(M.regionsEvacuated());
     }
-    LOSAllocSinceGC = 0;
+
+    evacuateMajorInto(Desired);
+
+    {
+      GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+      // Drop the swap's source: mark-compact keeps one standing tenured
+      // space, so the old reservation is released rather than recycled.
+      TenuredTo->release();
+      // Fresh reservation, fresh epoch: the region overlay must re-bind to
+      // the grown space (the crossing map was attached to it before the
+      // evacuation and stays).
+      Regions.attach(*TenuredFrom);
+
+      if (TILGC_UNLIKELY(shouldPoison())) {
+        NurseryFrom->poisonFreeSpace();
+        if (AgedTenuring())
+          NurseryTo->poisonFreeSpace();
+        TenuredFrom->poisonFreeSpace();
+      }
+      if (usesCardBarrier()) {
+        Cards.attach(*TenuredFrom);
+        recomputeHybridThreshold();
+        assert(CrossMap.boundTo(*TenuredFrom) &&
+               "crossing map lost the tenured swap");
+      }
+      LOSAllocSinceGC = 0;
+    }
   }
   maybeVerifyHeap("major");
 
@@ -872,6 +1138,7 @@ void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
   CrossingUpdatesAtLastGC = Stats.CrossingMapUpdates;
   HybridSwitchedSinceGC = false;
   Tel.endCollection();
+  noteFootprint();
 }
 
 void GenerationalCollector::appendHeapState(std::string &Out) const {

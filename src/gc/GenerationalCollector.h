@@ -33,6 +33,7 @@
 #include "gc/Collector.h"
 #include "heap/CardTable.h"
 #include "heap/LargeObjectSpace.h"
+#include "heap/RegionManager.h"
 #include "heap/Space.h"
 #include "heap/StoreBuffer.h"
 
@@ -60,6 +61,18 @@ public:
     CardMarking,
     FilteredStoreBuffer,
     Hybrid,
+  };
+
+  /// How major collections reclaim the tenured generation. Semispace is
+  /// the paper's engine: evacuate everything into a standing to-space
+  /// reservation (2× peak footprint, O(live) bytes moved every major).
+  /// MarkCompact is the region-structured engine beyond the paper: parallel
+  /// mark, per-region liveness, and an in-place slide that leaves dense
+  /// regions pinned — no to-space reservation, and only sparse regions'
+  /// bytes move.
+  enum class MajorGcKind {
+    Semispace,
+    MarkCompact,
   };
 
   struct Options {
@@ -118,6 +131,10 @@ public:
     /// Evacuation threads. 1 = the serial engine (bit-identical paper
     /// reproduction); >1 = the work-stealing ParallelEvacuator.
     unsigned GcThreads = 1;
+    /// Major-collection engine. Semispace keeps the paper reproduction
+    /// bit-identical; MarkCompact trades it for ~1× footprint and
+    /// move-only-what-pays compaction.
+    MajorGcKind MajorGc = MajorGcKind::Semispace;
   };
 
   GenerationalCollector(const CollectorEnv &Env, const Options &Opts);
@@ -178,6 +195,21 @@ private:
   /// requires afterwards; \p Trigger is recorded in the telemetry event.
   void doMinor(size_t NeedTenuredBytes, GcTrigger Trigger);
   void doMajor(size_t NeedTenuredBytes, GcTrigger Trigger);
+  /// The paper's semispace evacuation major (Opts.MajorGc == Semispace).
+  void doMajorSemispace(size_t NeedTenuredBytes, GcTrigger Trigger);
+  /// The region mark-compact major (Opts.MajorGc == MarkCompact). Compacts
+  /// in place when the marked-live plan fits; otherwise falls back to one
+  /// evacuating grow-and-swap (releasing the old space afterwards, so the
+  /// 2× reservation is transient rather than standing).
+  void doMajorMarkCompact(size_t NeedTenuredBytes, GcTrigger Trigger);
+  /// Shared semispace-evacuation body: grows TenuredTo to at least \p
+  /// ReserveBytes, evacuates {nursery spaces, TenuredFrom} into it (serial
+  /// or parallel), merges stats/telemetry, sweeps deaths, swaps the tenured
+  /// spaces and clears collection-scoped state. Used by the semispace major
+  /// and the mark-compact growth fallback.
+  void evacuateMajorInto(size_t ReserveBytes);
+  /// Samples Stats.MaxFootprintBytes against the current footprint.
+  void noteFootprint();
 
   /// Scans the stack into Roots, accounting time and counters.
   void scanStackForRoots();
@@ -258,6 +290,10 @@ private:
   StoreBuffer SSB;
   CardTable Cards;
   CrossingMap CrossMap; ///< Object starts for TenuredFrom's cards.
+  /// Region overlay over TenuredFrom (mark-compact mode only). Re-attached
+  /// whenever the tenured space is re-reserved (growth fallback), under the
+  /// same epoch-binding contract as the card table and crossing map.
+  RegionManager Regions;
   std::vector<Word *> LOSDirtySlots; ///< Card-mode overflow for LOS slots.
   MarkerManager Markers;
   ScanCache Cache;

@@ -33,6 +33,13 @@ SemispaceCollector::SemispaceCollector(const CollectorEnv &Env,
   RegRootAddrs.reserve(NumRegisters);
   if (Opts.GcThreads > 1)
     Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
+  noteFootprint();
+}
+
+void SemispaceCollector::noteFootprint() {
+  size_t F = SpaceA.capacityBytes() + SpaceB.capacityBytes();
+  if (F > Stats.MaxFootprintBytes)
+    Stats.MaxFootprintBytes = F;
 }
 
 SemispaceCollector::~SemispaceCollector() = default;
@@ -131,6 +138,7 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
       ++Stats.BudgetOverruns;
     Inactive->reserve(WorstCase);
   }
+  noteFootprint();
 
   // Copy phase. Every object moves, so reused stack roots are processed
   // too — the marker win here is only the avoided re-decoding.
@@ -159,6 +167,7 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
       }
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();
+      Stats.MajorBytesMoved += E.bytesCopied();
       Stats.EvacWorkerFaults += E.workerFaults();
       if (E.workerFaults())
         ++Stats.EvacSerialRecoveries;
@@ -185,6 +194,7 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
       }
       Stats.BytesCopied += E.bytesCopied();
       Stats.ObjectsCopied += E.objectsCopied();
+      Stats.MajorBytesMoved += E.bytesCopied();
       if (GcEvent *Ev = Tel.currentEvent()) {
         Ev->BytesCopied = E.bytesCopied();
         Ev->ObjectsCopied = E.objectsCopied();
@@ -219,6 +229,7 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
       Desired = std::clamp(Desired, MinSize, std::max(Room, MinSize));
     }
     Inactive->reserve(Desired);
+    noteFootprint();
     // Shrink the live space too (soft limit): a factor below 1 must take
     // effect even though the storage cannot be reallocated under the data.
     Active->setSoftLimitBytes(Desired);

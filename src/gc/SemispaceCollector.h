@@ -95,6 +95,9 @@ private:
   /// Whether this collection should poison the evacuated from-space.
   bool shouldPoison() const;
 
+  /// Samples Stats.MaxFootprintBytes against both semispace capacities.
+  void noteFootprint();
+
   /// Builds the verifier over the active space and runs it.
   bool runVerifier(std::string &Error) const;
 

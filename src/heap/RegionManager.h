@@ -1,0 +1,159 @@
+//===- heap/RegionManager.h - Region overlay over a tenured space -*- C++ -*-=//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A region-granular overlay over one contiguous tenured Space. The
+/// mark-compact major collector partitions the space into fixed-size,
+/// card-aligned regions, accounts marked-live bytes per region during the
+/// planning walk, and classifies each region as dense (left in place, card
+/// and crossing metadata rebuilt) or sparse (its live objects slide toward
+/// the base). Like CardTable and CrossingMap, the overlay binds to a
+/// specific (base address, reserve epoch) pair so a stale attach after the
+/// space is re-reserved — e.g. the growth-fallback path that swaps in a
+/// larger tenured space — trips an assertion instead of silently
+/// mis-attributing liveness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_HEAP_REGIONMANAGER_H
+#define TILGC_HEAP_REGIONMANAGER_H
+
+#include "heap/CrossingMap.h"
+#include "heap/Space.h"
+#include "object/Object.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace tilgc {
+
+/// Fixed-size region overlay with per-region liveness accounting.
+class RegionManager {
+public:
+  /// Region granularity. A multiple of the card size so region boundaries
+  /// never split a card between two regions' metadata rebuilds.
+  static constexpr size_t RegionBytes = 64u * 1024;
+  static constexpr size_t RegionWords = RegionBytes / sizeof(Word);
+  static_assert(RegionBytes % CrossingMap::CardBytes == 0,
+                "regions must be card-aligned");
+
+  /// Live-bytes fraction at or above which a region is dense: its objects
+  /// stay in place during compaction (moving them would churn nearly a full
+  /// region of bytes to reclaim almost nothing).
+  static constexpr double DefaultDenseFraction = 0.75;
+
+  /// Binds the overlay to \p S, sizing the region set to the space's current
+  /// capacity. The final region may be short when the capacity is not a
+  /// region multiple. Clears all per-region accounting.
+  void attach(const Space &S) {
+    Base = S.baseAddr();
+    Epoch = S.reserveEpoch();
+    size_t Words = S.capacityBytes() / sizeof(Word);
+    NumRegions = (Words + RegionWords - 1) / RegionWords;
+    TailWords = NumRegions ? Words - (NumRegions - 1) * RegionWords : 0;
+    LiveWords.assign(NumRegions, 0);
+    FirstHeader.assign(NumRegions, nullptr);
+    Dense.assign(NumRegions, 0);
+  }
+
+  /// True if the overlay was attached to \p S's current reservation. The
+  /// same base address with a different epoch means the space was released
+  /// and re-reserved since attach — the overlay's accounting is stale.
+  bool boundTo(const Space &S) const {
+    return Base == S.baseAddr() && Epoch == S.reserveEpoch();
+  }
+
+  size_t numRegions() const { return NumRegions; }
+
+  /// Region index owning address \p P (attribution is by header address: an
+  /// object belongs to the region containing its header, even when its
+  /// payload spills into following regions).
+  size_t regionOf(const Word *P) const {
+    assert(P >= Base && "address below the attached space");
+    size_t R = static_cast<size_t>(P - Base) / RegionWords;
+    assert(R < NumRegions && "address beyond the attached space");
+    return R;
+  }
+
+  const Word *regionBegin(size_t R) const { return Base + R * RegionWords; }
+  const Word *regionEnd(size_t R) const {
+    return regionBegin(R) + regionCapacityWords(R);
+  }
+  size_t regionCapacityWords(size_t R) const {
+    assert(R < NumRegions);
+    return R + 1 == NumRegions ? TailWords : RegionWords;
+  }
+
+  /// Resets per-region plan state (liveness, first headers, density) without
+  /// rebinding. Called at the start of every mark-compact planning walk.
+  void clearPlan() {
+    LiveWords.assign(NumRegions, 0);
+    FirstHeader.assign(NumRegions, nullptr);
+    Dense.assign(NumRegions, 0);
+  }
+
+  /// Records the first header encountered in \p Header's region during an
+  /// address-ordered walk (pads and dead objects included — it is a walk
+  /// resumption point, not a liveness fact).
+  void noteWalkStart(const Word *Header) {
+    size_t R = regionOf(Header);
+    if (!FirstHeader[R])
+      FirstHeader[R] = Header;
+  }
+
+  /// Accounts \p TotalWords of marked-live data to \p Header's region.
+  void addLive(const Word *Header, size_t TotalWords) {
+    LiveWords[regionOf(Header)] += TotalWords;
+  }
+
+  size_t liveWords(size_t R) const { return LiveWords[R]; }
+
+  /// First header at or after the region's start (nullptr when no object
+  /// header lies inside the region — e.g. one large object spans it whole).
+  const Word *firstHeader(size_t R) const { return FirstHeader[R]; }
+
+  /// Classifies every region against \p DenseFraction; returns the count of
+  /// dense regions. Call after the liveness accounting pass is complete.
+  size_t classify(double DenseFraction) {
+    size_t NumDense = 0;
+    for (size_t R = 0; R < NumRegions; ++R) {
+      Dense[R] = LiveWords[R] >=
+                 static_cast<size_t>(DenseFraction *
+                                     static_cast<double>(regionCapacityWords(R)));
+      // An empty region is trivially "dense" by the test above only when its
+      // capacity rounds to zero; guard so empty regions always compact away.
+      if (LiveWords[R] == 0)
+        Dense[R] = 0;
+      NumDense += Dense[R];
+    }
+    return NumDense;
+  }
+
+  bool isDense(size_t R) const { return Dense[R] != 0; }
+
+  /// Regions that hold at least one live object and are not dense — the
+  /// evacuation candidates whose objects slide during compaction.
+  size_t numEvacuationCandidates() const {
+    size_t N = 0;
+    for (size_t R = 0; R < NumRegions; ++R)
+      N += (LiveWords[R] > 0 && !Dense[R]);
+    return N;
+  }
+
+private:
+  const Word *Base = nullptr;
+  uint64_t Epoch = 0;
+  size_t NumRegions = 0;
+  size_t TailWords = 0;
+  std::vector<size_t> LiveWords;
+  std::vector<const Word *> FirstHeader;
+  std::vector<uint8_t> Dense;
+};
+
+} // namespace tilgc
+
+#endif // TILGC_HEAP_REGIONMANAGER_H

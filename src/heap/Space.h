@@ -149,6 +149,19 @@ public:
   /// One-past-the-end allocation frontier.
   Word *frontier() const { return Next; }
 
+  /// Rewinds (or advances) the allocation frontier to \p NewFrontier — the
+  /// in-place compactor's epilogue: after sliding live objects toward the
+  /// base and padding the gaps, the space's walkable extent ends exactly at
+  /// the compaction cursor. The caller guarantees [Base, NewFrontier) is a
+  /// well-formed object sequence.
+  void setFrontier(Word *NewFrontier) {
+    assert(NewFrontier >= Base && NewFrontier <= Limit &&
+           "frontier outside the reserved space");
+    Next = NewFrontier;
+    if (SoftLimit < Next)
+      SoftLimit = Next;
+  }
+
   /// Monotonic count of reserve()/release() calls. Side tables bound to
   /// this space (CardTable, CrossingMap) capture it at attach time and
   /// compare it later, turning a stale attach after a re-reserve into a

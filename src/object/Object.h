@@ -250,9 +250,11 @@ inline uint64_t objectTotalBytes(Word Descriptor) {
 }
 
 /// Invokes \p Fn with the address of every pointer field of the object at
-/// \p Payload. Null fields are still visited; callers test for null.
-template <typename FnT> void forEachPointerField(Word *Payload, FnT Fn) {
-  Word Descriptor = descriptorOf(Payload);
+/// \p Payload, using an explicitly supplied \p Descriptor. Needed when the
+/// in-place header has been overwritten with a forwarding word but the
+/// caller saved the original descriptor (the mark-compact nursery fixup).
+template <typename FnT>
+void forEachPointerFieldWith(Word Descriptor, Word *Payload, FnT Fn) {
   assert(!header::isForwarded(Descriptor) && "tracing a forwarded object");
   switch (header::kind(Descriptor)) {
   case ObjectKind::Record: {
@@ -276,6 +278,12 @@ template <typename FnT> void forEachPointerField(Word *Payload, FnT Fn) {
     TILGC_UNREACHABLE("tracing a pad filler");
   }
   TILGC_UNREACHABLE("bad object kind");
+}
+
+/// Invokes \p Fn with the address of every pointer field of the object at
+/// \p Payload. Null fields are still visited; callers test for null.
+template <typename FnT> void forEachPointerField(Word *Payload, FnT Fn) {
+  forEachPointerFieldWith(descriptorOf(Payload), Payload, Fn);
 }
 
 } // namespace tilgc

@@ -57,8 +57,13 @@ enum class GcPhase : uint8_t {
   RootHandoff, ///< Handing root spans to the evacuation engine.
   Copy,        ///< Evacuation drain (paper GC-copy).
   Resize,      ///< Space reservation / post-collection resize + sweeps.
+  Mark,        ///< Mark-compact majors: parallel heap trace.
+  Fixup,       ///< Mark-compact majors: pointer rewrite through the break
+               ///< table and young forwarding headers.
+  Compact,     ///< Mark-compact majors: plan, slides, pads, promotion
+               ///< copies, crossing-map rebuild.
 };
-inline constexpr unsigned NumGcPhases = 6;
+inline constexpr unsigned NumGcPhases = 9;
 
 /// Display name of a phase (trace export, reports).
 const char *gcPhaseName(GcPhase P);
@@ -119,6 +124,15 @@ struct GcEvent {
   uint64_t DirtyCards = 0;
   /// Dirty cards actually walked by this collection's card sweep.
   uint64_t CardsScanned = 0;
+  /// Mark-compact majors: physically relocated bytes (slid tenured runs
+  /// plus promoted young survivors). Layout-dependent — where the parallel
+  /// evacuator placed promotions decides which regions are dense — so
+  /// engine-dependent, like the card counters.
+  uint64_t BytesMoved = 0;
+  /// Mark-compact majors: region census at plan time.
+  uint32_t RegionsTotal = 0;
+  uint32_t RegionsDense = 0;
+  uint32_t RegionsEvacuated = 0;
 
   // --- Configuration / outcome -----------------------------------------
   uint32_t Workers = 1; ///< Evacuation threads configured.

@@ -24,6 +24,12 @@ const char *gcPhaseName(GcPhase P) {
     return "copy";
   case GcPhase::Resize:
     return "resize";
+  case GcPhase::Mark:
+    return "mark";
+  case GcPhase::Fixup:
+    return "fixup";
+  case GcPhase::Compact:
+    return "compact";
   }
   return "?";
 }

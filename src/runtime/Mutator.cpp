@@ -64,6 +64,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
     Opts.CompiledScanPlans = Config.CompiledScanPlans;
     Opts.Barrier = Config.Barrier;
+    Opts.MajorGc = Config.MajorGc;
     Opts.PromoteAgeThreshold = Config.PromoteAgeThreshold;
     Opts.Pretenure = Config.Pretenure;
     Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;

@@ -86,6 +86,11 @@ struct MutatorConfig {
   /// degrades to card marking when the flood heuristic trips (Peg).
   GenerationalCollector::BarrierKind Barrier =
       GenerationalCollector::BarrierKind::SequentialStoreBuffer;
+  /// Major-collection engine; generational only. Semispace is the paper's
+  /// evacuating major; MarkCompact is the region-structured in-place
+  /// compactor (~1x standing footprint, moves only what pays).
+  GenerationalCollector::MajorGcKind MajorGc =
+      GenerationalCollector::MajorGcKind::Semispace;
   /// 1 = promote-all; >1 = aged-tenuring ablation.
   unsigned PromoteAgeThreshold = 1;
   size_t NurseryLimitBytes = 512u << 10;

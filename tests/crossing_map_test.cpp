@@ -252,6 +252,57 @@ TEST(CrossingMapGc, CardRebindSurvivesTenuredGrowthBoundary) {
   EXPECT_EQ(headInt(Child), 31337);
 }
 
+TEST(CrossingMapGc, CardRebindSurvivesMarkCompactGrowthBoundary) {
+  // The mark-compact twin of the growth-boundary regression above, now with
+  // the RegionManager in the rebind chain: each growth fallback releases
+  // the old tenured reservation and re-attaches the region overlay, the
+  // card table and the crossing map to the grown space (a fresh reserve
+  // epoch), and in-place majors in between rebuild crossing metadata after
+  // every slide. Grow the region set across two majors, then prove an
+  // old->young store recorded after the last rebind still protects its
+  // child through the next minor's card scan.
+  MutatorConfig C;
+  C.BudgetBytes = 256u << 10; // Tiny: growth majors happen quickly.
+  C.Barrier = GenerationalCollector::BarrierKind::CardMarking;
+  C.MajorGc = GenerationalCollector::MajorGcKind::MarkCompact;
+  C.VerifyLevel = 2; // Remembered-set completeness audit every minor.
+  Mutator M(C);
+  auto &GC = static_cast<GenerationalCollector &>(M.collector());
+  Frame F(M, cmKey());
+
+  // A tenured parent record with one pointer field.
+  F.set(1, M.allocRecord(cmSite(), 1, 0b1));
+  M.collect(false);
+  ASSERT_TRUE(GC.inTenured(F.get(1).asPtr()));
+
+  // Retain a growing prefix so in-place compaction cannot keep absorbing
+  // the pressure: the tenured space must actually grow (re-reserving its
+  // backing and re-attaching the region overlay) across at least two
+  // majors.
+  uint64_t MajorsBefore = M.gcStats().NumMajorGC;
+  for (int Round = 0; Round < 30 && M.gcStats().NumMajorGC < MajorsBefore + 2;
+       ++Round) {
+    for (int I = 0; I < 2000; ++I)
+      F.set(2, consInt(M, cmSite(), I, slot(F, 2)));
+    M.collect(false);
+  }
+  ASSERT_GE(M.gcStats().NumMajorGC, MajorsBefore + 2)
+      << "workload failed to force tenured growth";
+  ASSERT_TRUE(GC.inTenured(F.get(1).asPtr()));
+
+  // Mutate across the growth boundary: the dirty card must land in the
+  // *current* table/map bind, and the next minor must find the child.
+  F.set(3, consInt(M, cmSite(), 31337, slot(F, 3)));
+  M.writeField(F.get(1), 0, F.get(3), /*IsPointerField=*/true);
+  F.set(3, Value::null());
+  M.collect(false);
+  Value Child = Mutator::getField(F.get(1), 0);
+  ASSERT_FALSE(Child.isNull());
+  EXPECT_EQ(headInt(Child), 31337);
+  // The retained prefix survived every slide and rebind too.
+  EXPECT_GE(mllib::length(F.get(2)), 2000u);
+}
+
 namespace {
 
 class CrossingMapParallel : public ::testing::TestWithParam<unsigned> {};

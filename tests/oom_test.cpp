@@ -122,6 +122,99 @@ TEST(OomProtocol, SemispaceThrowsCatchablyWithDump) {
   EXPECT_GT(Count, 1000u);
 }
 
+TEST(OomProtocol, MarkCompactCompletesWhereSemispaceReservationDies) {
+  // The retired pre-flight workaround, proven structurally: a semispace
+  // major needs from + to standing at once, so a budget whose space pair
+  // overshoots the hard cap dies at the first major's pre-flight. The
+  // compactor keeps ONE standing tenured space inside the same cap and
+  // completes the same retention in place.
+  auto config = [](GenerationalCollector::MajorGcKind K, const char *Name) {
+    MutatorConfig C;
+    C.Kind = CollectorKind::Generational;
+    C.Name = Name;
+    C.BudgetBytes = 1536u << 10; // Space pair 2x736K; single space 736K.
+    C.HardLimitBytes = 1u << 20;
+    C.NurseryLimitBytes = 64u << 10;
+    C.VerifyLevel = 1;
+    C.MajorGc = K;
+    return C;
+  };
+  auto retain = [](Mutator &M, Frame &F, uint64_t Cells) {
+    for (uint64_t I = 0; I < Cells; ++I) {
+      Value Cell = M.allocRecord(oomSite(), 2, 0b10);
+      M.initField(Cell, 0, Value::fromInt(static_cast<int64_t>(I)));
+      M.initField(Cell, 1, F.get(1));
+      F.set(1, Cell);
+    }
+    M.collect(/*Major=*/true);
+  };
+  constexpr uint64_t Cells = 12000; // ~384K retained.
+
+  {
+    Mutator M(config(GenerationalCollector::MajorGcKind::Semispace,
+                     "pair-exceeds-cap"));
+    Frame F(M, oomKey());
+    try {
+      retain(M, F, Cells);
+      ADD_FAILURE() << "the 2x reservation fit under the cap";
+    } catch (const HeapExhausted &E) {
+      expectStructuredDump(E, "generational collector 'pair-exceeds-cap'");
+    }
+    std::string Error;
+    EXPECT_TRUE(M.verifyHeap(Error)) << Error;
+  }
+  {
+    Mutator M(config(GenerationalCollector::MajorGcKind::MarkCompact,
+                     "compact-fits-cap"));
+    Frame F(M, oomKey());
+    retain(M, F, Cells); // Must NOT throw.
+    EXPECT_GE(M.gcStats().NumMajorGC, 1u);
+    EXPECT_EQ(M.gcStats().HeapExhaustedThrows, 0u);
+    EXPECT_LE(M.gcStats().MaxFootprintBytes, size_t{1u << 20})
+        << "the compactor's peak footprint breached the hard limit";
+    uint64_t Count = 0;
+    for (Value V = F.get(1); !V.isNull(); V = Mutator::getField(V, 1))
+      ++Count;
+    EXPECT_EQ(Count, Cells);
+    std::string Error;
+    EXPECT_TRUE(M.verifyHeap(Error)) << Error;
+  }
+}
+
+TEST(OomProtocol, MarkCompactExhaustionIsNotSticky) {
+  // Contrast with GenerationalThrowsCatchablyWithDump: the semispace
+  // major's exhaustion is sticky (the copy reserve is part of the standing
+  // footprint), but the compactor throws from the growth fallback with the
+  // heap intact and nothing extra reserved — dropping data and retrying
+  // must succeed.
+  MutatorConfig C = tinyConfig(CollectorKind::Generational, "mc-retry");
+  C.MajorGc = GenerationalCollector::MajorGcKind::MarkCompact;
+  Mutator M(C);
+  Frame F(M, oomKey());
+  HeapExhausted E = exhaust(M, F);
+  expectStructuredDump(E, "generational collector 'mc-retry'");
+  std::string Error;
+  EXPECT_TRUE(M.verifyHeap(Error)) << Error;
+
+  // Drop the retained list: the live set is now tiny.
+  F.set(1, Value::null());
+  uint64_t ThrowsBefore = M.gcStats().HeapExhaustedThrows;
+  M.collect(/*Major=*/true); // In-place compaction reclaims everything.
+  for (uint64_t I = 0; I < 2000; ++I) { // ~64K: far under the cap.
+    Value Cell = M.allocRecord(oomSite(), 2, 0b10);
+    M.initField(Cell, 0, Value::fromInt(static_cast<int64_t>(I)));
+    M.initField(Cell, 1, F.get(1));
+    F.set(1, Cell);
+  }
+  EXPECT_EQ(M.gcStats().HeapExhaustedThrows, ThrowsBefore)
+      << "retry after dropping data must not re-throw";
+  uint64_t Count = 0;
+  for (Value V = F.get(1); !V.isNull(); V = Mutator::getField(V, 1))
+    ++Count;
+  EXPECT_EQ(Count, 2000u);
+  EXPECT_TRUE(M.verifyHeap(Error)) << Error;
+}
+
 TEST(OomProtocol, LargeObjectAllocationRespectsHardLimit) {
   Mutator M(tinyConfig(CollectorKind::Generational, "gen-los-oom"));
   Frame F(M, oomKey());
