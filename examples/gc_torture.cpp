@@ -9,18 +9,24 @@
 // Usage:
 //   gc_torture [semispace|generational] [--markers] [--pretenure]
 //              [--cards] [--aged=N] [--budget=BYTES] [--scale=S]
-//              [--threads=N]
+//              [--threads=N] [--mutators=N]
+//
+// --threads controls parallel GC workers; --mutators runs each workload
+// on N concurrent mutator threads sharing one heap (TLABs + safepoints),
+// with every thread's checksum validated independently.
 //
 // Set TILGC_TRACE_OUT=<path> to write a chrome://tracing JSON of the last
 // workload's collections (each run overwrites the file).
 //
 //===----------------------------------------------------------------------===//
 
+#include "runtime/MutatorGroup.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 using namespace tilgc;
 
@@ -30,6 +36,7 @@ int main(int Argc, char **Argv) {
   C.VerifyHeapAfterGC = true;
   double Scale = 0.5;
   bool Pretenure = false;
+  unsigned Mutators = 1;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -51,6 +58,8 @@ int main(int Argc, char **Argv) {
       Scale = std::atof(A + 8);
     else if (!std::strncmp(A, "--threads=", 10))
       C.GcThreads = static_cast<unsigned>(std::atoi(A + 10));
+    else if (!std::strncmp(A, "--mutators=", 11))
+      Mutators = static_cast<unsigned>(std::atoi(A + 11));
     else {
       std::fprintf(stderr, "unknown flag %s\n", A);
       return 2;
@@ -66,6 +75,29 @@ int main(int Argc, char **Argv) {
       Mutator PM(Prof);
       (void)W->run(PM, Scale);
       Run.Pretenure = PM.profiler()->derivePretenureSet(0.8);
+    }
+    if (Mutators > 1) {
+      // Shared heap: scale the budget with the thread count so per-thread
+      // GC pressure matches the single-mutator run.
+      Run.BudgetBytes *= Mutators;
+      MutatorGroup G(Run, Mutators);
+      std::vector<uint64_t> Sums(Mutators, 0);
+      G.run([&](Mutator &TM, unsigned I) {
+        std::unique_ptr<Workload> Mine = makeWorkloadByName(W->name());
+        Sums[I] = Mine->run(TM, Scale);
+      });
+      bool OK = true;
+      for (uint64_t Sum : Sums)
+        OK = OK && Sum == W->expected(Scale);
+      Failures += !OK;
+      const GcStats &S = G.gcStats();
+      std::printf("%-13s %-4s gc=%6.3fs GCs=%5llu copied=%8lluKB "
+                  "stops=%5llu\n",
+                  W->name(), OK ? "OK" : "BAD", S.gcSeconds(),
+                  (unsigned long long)S.NumGC,
+                  (unsigned long long)(S.BytesCopied >> 10),
+                  (unsigned long long)S.SafepointStops);
+      continue;
     }
     Mutator M(Run);
     uint64_t Got = W->run(M, Scale);

@@ -22,6 +22,7 @@
 #include "stack/ShadowStack.h"
 #include "stack/StackMarkers.h"
 #include "stack/StackScanner.h"
+#include "support/Fatal.h"
 
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,14 @@ struct CollectorEnv {
   /// telemetry too (pretenure-flip audits fire from the generational
   /// collector's constructor).
   std::vector<GcObserver *> Observers;
+};
+
+/// One additional mutator thread's root sources (multi-mutator runtime).
+/// The primary context stays in CollectorEnv so single-mutator behavior is
+/// untouched; extra contexts are scanned after it, in registration order.
+struct MutatorContext {
+  ShadowStack *Stack = nullptr;
+  RegisterFile *Regs = nullptr;
 };
 
 /// Abstract copying collector.
@@ -124,6 +133,18 @@ public:
     return nullptr;
   }
 
+  /// Registers an additional mutator thread's stack and registers as root
+  /// sources (multi-mutator runtime). The world must be stopped (or not
+  /// yet started) around every collection involving these; stack markers
+  /// are rejected because the scan cache memoizes exactly one stack.
+  void registerExtraContext(ShadowStack *Stack, RegisterFile *Regs) {
+    if (markerManager())
+      fatalError("multi-mutator mode is incompatible with stack markers: "
+                 "the scan cache covers a single stack");
+    assert(Stack && Regs && "extra context needs stack and registers");
+    ExtraContexts.push_back(MutatorContext{Stack, Regs});
+  }
+
   /// Metadata word for a new object (public face of makeMeta, for the
   /// mutator fast path).
   Word objectMeta(uint32_t SiteId) const { return makeMeta(SiteId); }
@@ -170,15 +191,23 @@ protected:
   /// Per-collection stack metrics (frame depth, Table 2's new frames).
   /// Every call bumps FramesAtGCSamples alongside the sums, so the Table 2
   /// averages stay correct even if some future collection path skips this
-  /// sampling (see GcStats::FramesAtGCSamples).
+  /// sampling (see GcStats::FramesAtGCSamples). With extra contexts
+  /// registered, depths sum across every mutator's stack.
   void accountStackAtGC() {
     uint64_t Frames = Env.Stack->frameCount();
+    uint64_t NewFrames = Frames - Env.Stack->minFramesSinceMark();
+    Env.Stack->resetWaterMark();
+    for (const MutatorContext &C : ExtraContexts) {
+      uint64_t F = C.Stack->frameCount();
+      Frames += F;
+      NewFrames += F - C.Stack->minFramesSinceMark();
+      C.Stack->resetWaterMark();
+    }
     Stats.FramesAtGCSum += Frames;
     Stats.FramesAtGCSamples += 1;
     if (Frames > Stats.MaxFramesAtGC)
       Stats.MaxFramesAtGC = Frames;
-    Stats.NewFramesSum += Frames - Env.Stack->minFramesSinceMark();
-    Env.Stack->resetWaterMark();
+    Stats.NewFramesSum += NewFrames;
     if (GcEvent *Ev = Tel.currentEvent())
       Ev->FramesAtGC = Frames;
   }
@@ -206,6 +235,43 @@ protected:
       RegRootAddrs.push_back(&(*Env.Regs)[R]);
   }
 
+  /// Scans every registered extra mutator context (multi-mutator runtime):
+  /// fresh slot roots append to Roots.FreshSlotRoots, register roots
+  /// append to RegRootAddrs after the primary context's, both in
+  /// registration (= thread-index) order, so root handoff stays
+  /// deterministic for a fixed thread count. No markers/cache — the reuse
+  /// optimization is primary-context only. Call after gatherRegRoots().
+  /// No-op when no extra contexts exist, keeping single-mode scans
+  /// byte-identical.
+  void scanExtraContexts(bool CompiledPlans) {
+    for (const MutatorContext &C : ExtraContexts) {
+      ScanStats S;
+      StackScanner::scan(*C.Stack, *C.Regs, nullptr, nullptr, ExtraRoots, S,
+                         CompiledPlans);
+      Stats.FramesScanned += S.FramesScanned;
+      Stats.SlotsVisited += S.SlotsVisited;
+      Stats.PlanWordsScanned += S.PlanWordsScanned;
+      LastScan.FramesScanned += S.FramesScanned;
+      Roots.FreshSlotRoots.insert(Roots.FreshSlotRoots.end(),
+                                  ExtraRoots.FreshSlotRoots.begin(),
+                                  ExtraRoots.FreshSlotRoots.end());
+      for (unsigned R : ExtraRoots.RegRoots)
+        RegRootAddrs.push_back(&(*C.Regs)[R]);
+    }
+  }
+
+  /// Whether \p Slot lives in any registered mutator's stack or register
+  /// file (primary or extra) — the aged-tenuring filter that keeps stack
+  /// slots out of the cross-generation remembered set.
+  bool mutatorOwnsSlot(const Word *Slot) const {
+    if (Env.Stack->ownsSlot(Slot) || Env.Regs->ownsSlot(Slot))
+      return true;
+    for (const MutatorContext &C : ExtraContexts)
+      if (C.Stack->ownsSlot(Slot) || C.Regs->ownsSlot(Slot))
+        return true;
+    return false;
+  }
+
   CollectorEnv Env;
   GcStats Stats;
   GcTelemetry Tel;
@@ -213,6 +279,11 @@ protected:
   ScanStats LastScan;
   /// Scratch for gatherRegRoots (capacity-reusing, at most NumRegisters).
   std::vector<Word *> RegRootAddrs;
+  /// Additional mutator threads' root sources, in thread-index order.
+  std::vector<MutatorContext> ExtraContexts;
+  /// Scratch RootSet for scanExtraContexts (StackScanner::scan clears its
+  /// output at entry, so one reusable instance serves every context).
+  RootSet ExtraRoots;
 };
 
 } // namespace tilgc

@@ -87,6 +87,12 @@ struct GcStats {
   /// Times the collector exceeded its k*Min budget and grew anyway.
   uint64_t BudgetOverruns = 0;
 
+  // Multi-mutator runtime accounting (all zero in single-mutator mode).
+  uint64_t SafepointStops = 0;  ///< Stop-the-world rendezvous completed.
+  uint64_t SafepointWaitNs = 0; ///< Total time stoppers waited for parks.
+  uint64_t TlabRefills = 0;     ///< TLAB block handouts from the nursery.
+  uint64_t TlabPadBytes = 0;    ///< Bytes padded in retired TLAB tails.
+
   // OOM-protocol and fault-resilience accounting.
   uint64_t HeapExhaustedThrows = 0; ///< Terminal ladder failures surfaced.
   uint64_t EvacWorkerFaults = 0;    ///< Parallel-evacuation workers faulted.

@@ -305,6 +305,7 @@ void GenerationalCollector::scanStackForRoots() {
   Stats.SlotsVisited += LastScan.SlotsVisited;
   Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
   gatherRegRoots();
+  scanExtraContexts(Opts.CompiledScanPlans);
   if (GcEvent *Ev = Tel.currentEvent()) {
     Ev->FramesScanned = LastScan.FramesScanned;
     Ev->FramesReused = LastScan.FramesReused;
@@ -561,7 +562,7 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
     // from scratch every collection and their storage gets reused.
     CrossGenSlots.clear();
     for (Word *Slot : MinorCrossGen)
-      if (!Env.Stack->ownsSlot(Slot) && !Env.Regs->ownsSlot(Slot))
+      if (!mutatorOwnsSlot(Slot))
         CrossGenSlots.push_back(Slot);
   }
 

@@ -126,6 +126,7 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
     Stats.SlotsVisited += LastScan.SlotsVisited;
     Stats.PlanWordsScanned += LastScan.PlanWordsScanned;
     gatherRegRoots();
+    scanExtraContexts(Opts.CompiledScanPlans);
     if (GcEvent *Ev = Tel.currentEvent()) {
       Ev->FramesScanned = LastScan.FramesScanned;
       Ev->FramesReused = LastScan.FramesReused;

@@ -62,8 +62,11 @@ enum class GcPhase : uint8_t {
                ///< table and young forwarding headers.
   Compact,     ///< Mark-compact majors: plan, slides, pads, promotion
                ///< copies, crossing-map rebuild.
+  SafepointWait, ///< Multi-mutator runtime: time the collecting thread
+                 ///< spent waiting for every other mutator to park at its
+                 ///< allocation poll. Always zero in single-mutator mode.
 };
-inline constexpr unsigned NumGcPhases = 9;
+inline constexpr unsigned NumGcPhases = 10;
 
 /// Display name of a phase (trace export, reports).
 const char *gcPhaseName(GcPhase P);
@@ -150,6 +153,13 @@ struct GcEvent {
 
   /// Per-worker activity (parallel evacuation, armed telemetry only).
   std::vector<GcWorkerSpan> WorkerSpans;
+
+  /// Per-mutator park spans for the safepoint that preceded this
+  /// collection (multi-mutator runtime, armed telemetry only). Index is
+  /// the mutator's thread index; Begin is when that thread parked, End is
+  /// when the world resumed. Empty in single-mutator mode, so the
+  /// deterministic event slice is unchanged there.
+  std::vector<GcWorkerSpan> MutatorSpans;
 
   /// Sum of the per-phase durations — the invariant suite checks this
   /// never exceeds PauseNs.

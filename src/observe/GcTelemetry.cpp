@@ -30,6 +30,8 @@ const char *gcPhaseName(GcPhase P) {
     return "fixup";
   case GcPhase::Compact:
     return "compact";
+  case GcPhase::SafepointWait:
+    return "safepoint-wait";
   }
   return "?";
 }
@@ -71,24 +73,49 @@ void GcTelemetry::beginCollection(GcGeneration Gen, GcTrigger Trigger,
                                   uint64_t Seq) {
   InCollection = true;
   if (TILGC_UNLIKELY(armed())) {
-    // Reset the event in place, keeping the WorkerSpans allocation.
+    // Reset the event in place, keeping the span allocations.
     Current.WorkerSpans.clear();
     std::vector<GcWorkerSpan> Spans = std::move(Current.WorkerSpans);
+    Current.MutatorSpans.clear();
+    std::vector<GcWorkerSpan> MSpans = std::move(Current.MutatorSpans);
     Current = GcEvent();
     Current.WorkerSpans = std::move(Spans);
+    Current.MutatorSpans = std::move(MSpans);
     Current.Seq = Seq;
     Current.Gen = Gen;
     Current.Trigger = Trigger;
     Current.BeginNs = nowNs();
     for (uint64_t &E : PhaseEnterNs)
       E = 0;
+    consumePendingSafepoint();
     for (GcObserver *O : Observers)
       O->onGcBegin(Current);
   } else {
     // Disarmed: only what the always-on histogram needs.
     Current.Gen = Gen;
     Current.BeginNs = nowNs();
+    consumePendingSafepoint();
   }
+}
+
+void GcTelemetry::consumePendingSafepoint() {
+  if (TILGC_LIKELY(!PendingSafepoint))
+    return;
+  PendingSafepoint = false;
+  // Fold the rendezvous into the pause window: the mutators were stopped
+  // from WaitBeginNs, so the collection's observable pause starts there.
+  // This also keeps phaseTotalNs() <= PauseNs with the new phase counted.
+  if (PendingWaitBeginNs != 0 && PendingWaitBeginNs < Current.BeginNs)
+    Current.BeginNs = PendingWaitBeginNs;
+  if (armed()) {
+    unsigned I = static_cast<unsigned>(GcPhase::SafepointWait);
+    Current.PhaseBeginNs[I] = PendingWaitBeginNs;
+    Current.PhaseDurNs[I] = PendingWaitEndNs >= PendingWaitBeginNs
+                                ? PendingWaitEndNs - PendingWaitBeginNs
+                                : 0;
+    Current.MutatorSpans = std::move(PendingMutatorSpans);
+  }
+  PendingMutatorSpans.clear();
 }
 
 void GcTelemetry::endCollection() {
@@ -130,6 +157,22 @@ void GcTelemetry::noteWorkerFault(uint32_t WorkerIndex) {
   if (TILGC_UNLIKELY(armed()))
     for (GcObserver *O : Observers)
       O->onWorkerFault(Current.Seq, WorkerIndex);
+}
+
+void GcTelemetry::noteSafepointWait(uint64_t WaitBeginNs, uint64_t WaitEndNs,
+                                    std::vector<GcWorkerSpan> ParkSpans) {
+  SafepointWaits.record(WaitEndNs >= WaitBeginNs ? WaitEndNs - WaitBeginNs
+                                                 : 0);
+  PendingSafepoint = true;
+  PendingWaitBeginNs = WaitBeginNs;
+  PendingWaitEndNs = WaitEndNs;
+  if (TILGC_UNLIKELY(armed()))
+    PendingMutatorSpans = std::move(ParkSpans);
+}
+
+void GcTelemetry::clearPendingSafepoint() {
+  PendingSafepoint = false;
+  PendingMutatorSpans.clear();
 }
 
 } // namespace tilgc

@@ -117,6 +117,21 @@ public:
   /// Called from the controlling thread after the pool joined.
   void noteWorkerFault(uint32_t WorkerIndex);
 
+  /// Record a completed stop-the-world rendezvous (multi-mutator runtime).
+  /// Called by the stopping thread after every other mutator parked and
+  /// before the stopped-world operation runs. Feeds the always-on
+  /// safepoint-wait histogram; if a collection follows before
+  /// clearPendingSafepoint(), its event absorbs the wait as the
+  /// SafepointWait phase (with BeginNs extended back to WaitBeginNs so the
+  /// phase-total <= pause invariant holds) and ParkSpans become
+  /// GcEvent::MutatorSpans. Park spans are only kept while armed.
+  void noteSafepointWait(uint64_t WaitBeginNs, uint64_t WaitEndNs,
+                         std::vector<GcWorkerSpan> ParkSpans);
+
+  /// Drop a pending safepoint record that no collection consumed (the
+  /// stopped-world operation was a plain allocation, not a GC).
+  void clearPendingSafepoint();
+
   // --- Always-on aggregates --------------------------------------------
 
   const PauseHistogram &histogram(GcGeneration G) const {
@@ -126,9 +141,14 @@ public:
     return G == GcGeneration::Minor ? MinorPauses : MajorPauses;
   }
 
+  /// Stop-the-world rendezvous waits (multi-mutator runtime; empty in
+  /// single-mutator mode). Always on, like the pause histograms.
+  const PauseHistogram &safepointHistogram() const { return SafepointWaits; }
+
 private:
   void enterPhaseSlow(GcPhase P);
   void exitPhaseSlow(GcPhase P);
+  void consumePendingSafepoint();
 
   std::atomic<bool> Armed{false};
   std::vector<GcObserver *> Observers;
@@ -137,8 +157,15 @@ private:
   GcEvent Current;
   uint64_t PhaseEnterNs[NumGcPhases] = {};
 
+  // Safepoint rendezvous waiting to be claimed by the next collection.
+  bool PendingSafepoint = false;
+  uint64_t PendingWaitBeginNs = 0;
+  uint64_t PendingWaitEndNs = 0;
+  std::vector<GcWorkerSpan> PendingMutatorSpans;
+
   PauseHistogram MinorPauses;
   PauseHistogram MajorPauses;
+  PauseHistogram SafepointWaits;
 };
 
 } // namespace tilgc

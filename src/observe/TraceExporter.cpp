@@ -65,6 +65,10 @@ std::string TraceExporter::render(const EventRecorder &R) {
   // worker tracks are named lazily below once we know how many exist.
   appendThreadName(Out, 0, "GC", First);
   unsigned MaxWorkerTid = 0;
+  // Mutator park spans (multi-mutator runtime) live on their own tid
+  // range, clear of any plausible worker count.
+  constexpr unsigned MutatorTidBase = 1000;
+  unsigned MaxMutatorTid = 0;
 
   for (size_t I = 0; I < R.size(); ++I) {
     const GcEvent &E = R.event(I);
@@ -143,6 +147,22 @@ std::string TraceExporter::render(const EventRecorder &R) {
       appendU64(Out, W.ObjectsCopied);
       Out += "}}";
     }
+
+    // Per-mutator safepoint park spans (multi-mutator runtime) on their
+    // own tracks: each shows the window the thread sat parked while this
+    // collection's stop-the-world operation ran.
+    for (const GcWorkerSpan &M : E.MutatorSpans) {
+      unsigned Tid = MutatorTidBase + M.Index;
+      if (Tid > MaxMutatorTid)
+        MaxMutatorTid = Tid;
+      Out += ",\n";
+      appendCommon(Out, "safepoint park", "X", M.BeginNs, Tid);
+      Out += ",\"dur\":";
+      appendUs(Out, M.EndNs >= M.BeginNs ? M.EndNs - M.BeginNs : 0);
+      Out += ",\"args\":{\"gc\":";
+      appendU64(Out, E.Seq);
+      Out += "}}";
+    }
   }
 
   // Pretenure-decision audits as global instant events at ts 0 (the flip
@@ -183,6 +203,13 @@ std::string TraceExporter::render(const EventRecorder &R) {
     std::string Name = "evac worker ";
     char Buf[16];
     std::snprintf(Buf, sizeof(Buf), "%u", Tid - 1);
+    Name += Buf;
+    appendThreadName(Out, Tid, Name, First);
+  }
+  for (unsigned Tid = MutatorTidBase; Tid <= MaxMutatorTid; ++Tid) {
+    std::string Name = "mutator ";
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%u", Tid - MutatorTidBase);
     Name += Buf;
     appendThreadName(Out, Tid, Name, First);
   }

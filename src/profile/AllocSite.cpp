@@ -16,16 +16,20 @@ AllocSiteRegistry &AllocSiteRegistry::global() {
 AllocSiteRegistry::AllocSiteRegistry() {
   // Id 0 is the runtime's own site (type descriptors and friends).
   Names.push_back("<runtime>");
+  NumSites.store(1, std::memory_order_release);
 }
 
 uint32_t AllocSiteRegistry::define(std::string Name) {
+  std::lock_guard<std::mutex> L(DefineMutex);
   uint32_t Id = static_cast<uint32_t>(Names.size());
   Names.push_back(std::move(Name));
+  NumSites.store(Id + 1, std::memory_order_release);
   return Id;
 }
 
 uint32_t AllocSiteRegistry::lookup(const std::string &Name) const {
-  for (uint32_t I = 0; I < Names.size(); ++I)
+  uint32_t N = size();
+  for (uint32_t I = 0; I < N; ++I)
     if (Names[I] == Name)
       return I;
   return UINT32_MAX;

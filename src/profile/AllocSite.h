@@ -16,24 +16,33 @@
 #ifndef TILGC_PROFILE_ALLOCSITE_H
 #define TILGC_PROFILE_ALLOCSITE_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
-#include <vector>
 
 namespace tilgc {
 
 /// Process-wide table of allocation sites.
+///
+/// Thread-safety: sites register lazily through function-local statics in
+/// workload code, and multi-mutator runs execute per-thread workload
+/// instances concurrently — so define() takes a mutex, storage is a deque
+/// (no element ever moves), and the published count is a release store the
+/// lock-free readers acquire. Single-threaded cost: one atomic load where
+/// a plain size() load was.
 class AllocSiteRegistry {
 public:
   static AllocSiteRegistry &global();
 
   /// Registers a site named \p Name and returns its id. Call once per
-  /// program point (use a function-local static).
+  /// program point (use a function-local static). Thread-safe.
   uint32_t define(std::string Name);
 
   const std::string &name(uint32_t Id) const {
-    assert(Id < Names.size() && "unknown allocation site");
+    assert(Id < size() && "unknown allocation site");
     return Names[Id];
   }
 
@@ -41,17 +50,21 @@ public:
   /// profile file written by a different binary).
   const std::string &nameOrUnknown(uint32_t Id) const {
     static const std::string Unknown = "<unknown>";
-    return Id < Names.size() ? Names[Id] : Unknown;
+    return Id < size() ? Names[Id] : Unknown;
   }
 
   /// Returns the id of the site named \p Name, or UINT32_MAX if absent.
   uint32_t lookup(const std::string &Name) const;
 
-  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+  uint32_t size() const {
+    return NumSites.load(std::memory_order_acquire);
+  }
 
 private:
   AllocSiteRegistry();
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
+  std::atomic<uint32_t> NumSites{0};
+  std::mutex DefineMutex;
 };
 
 /// The reserved site id for allocations the runtime itself performs

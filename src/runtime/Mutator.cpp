@@ -8,8 +8,10 @@
 
 #include "observe/EventRecorder.h"
 #include "observe/TraceExporter.h"
+#include "runtime/MutatorGroup.h"
 #include "support/Fatal.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 using namespace tilgc;
@@ -47,7 +49,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.AdaptiveMarkerPlacement = Config.AdaptiveMarkerPlacement;
     Opts.CompiledScanPlans = Config.CompiledScanPlans;
     Opts.GcThreads = Config.GcThreads;
-    GC = std::make_unique<SemispaceCollector>(Env, Opts);
+    OwnedGC = std::make_unique<SemispaceCollector>(Env, Opts);
     break;
   }
   case CollectorKind::Generational: {
@@ -70,15 +72,117 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;
     Opts.VerifyHeapAfterGC = Config.VerifyHeapAfterGC;
     Opts.GcThreads = Config.GcThreads;
-    GC = std::make_unique<GenerationalCollector>(Env, Opts);
+    OwnedGC = std::make_unique<GenerationalCollector>(Env, Opts);
     break;
   }
   }
+  GC = OwnedGC.get();
+}
+
+Mutator::Mutator(Collector &SharedGC, const MutatorConfig &Config)
+    : Config(Config), GC(&SharedGC) {
+  // Attached mutators own no collector, profiler, or trace recorder: the
+  // group's primary mutator holds all shared machinery. Per-thread profile
+  // scratch (LocalProf) is wired later by attachToGroup.
 }
 
 Mutator::~Mutator() {
   if (Recorder && !TracePath.empty())
     TraceExporter::writeFile(*Recorder, TracePath);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-mutator mode (see runtime/MutatorGroup.h for the protocol).
+//===----------------------------------------------------------------------===//
+
+void Mutator::attachToGroup(MutatorGroup &G, unsigned Idx, bool Profiling,
+                            bool RecordBarrier) {
+  Group = &G;
+  GroupIdx = Idx;
+  RecordLocalBarrier = RecordBarrier;
+  if (Profiling)
+    LocalProf = std::make_unique<HeapProfiler>();
+  SharedBytesAtMerge = GC->stats().BytesAllocated;
+  // Fix the TLAB object-size bound once: for the generational collector
+  // this is the large-object threshold, a construction-time constant.
+  GC->inlineAllocSpace(TlabMaxBytes);
+}
+
+Word *Mutator::allocMulti(ObjectKind Kind, Word Descriptor, uint32_t LenWords,
+                          uint32_t PtrMask, uint32_t Site) {
+  SafepointCoordinator &SP = Group->safepoint();
+  if (TILGC_UNLIKELY(SP.stopRequested()))
+    SP.yield(GroupIdx);
+  if (TILGC_LIKELY(siteAllowsFast(Site) &&
+                   objectTotalBytes(Descriptor) < TlabMaxBytes)) {
+    size_t Need = objectTotalWords(Descriptor);
+    Word *P = TlabNext;
+    if (TILGC_UNLIKELY(!P || Need > static_cast<size_t>(TlabEnd - P)))
+      P = refillTlab(Need);
+    if (TILGC_LIKELY(P != nullptr)) {
+      TlabNext = P + Need;
+      P[0] = Descriptor;
+      // Birth stamp: shared counter as of the last safepoint merge plus
+      // allocation since — monotone per thread, exact in total.
+      P[1] = meta::make(
+          Site, (SharedBytesAtMerge + LocalStats.BytesAllocated) >> 10);
+      uint64_t Bytes = objectTotalBytes(Descriptor);
+      LocalStats.BytesAllocated += Bytes;
+      LocalStats.ObjectsAllocated += 1;
+      if (Kind == ObjectKind::Record)
+        LocalStats.RecordBytesAllocated += Bytes;
+      else
+        LocalStats.ArrayBytesAllocated += Bytes;
+      if (LocalProf)
+        LocalProf->onAlloc(Site, Bytes);
+      std::memset(P + HeaderWords, 0,
+                  static_cast<size_t>(LenWords) * sizeof(Word));
+      return P + HeaderWords;
+    }
+  }
+  // Pretenured site, large object, or nursery exhausted: stop the world
+  // and run the collector's full allocate() (merges first, may collect,
+  // reuses the single-mutator OOM ladder unchanged).
+  return Group->allocateStopped(GroupIdx, Kind, LenWords, PtrMask, Site);
+}
+
+Word *Mutator::refillTlab(size_t NeedWords) {
+  retireTlab();
+  size_t MaxBytes = 0;
+  Space *S = GC->inlineAllocSpace(MaxBytes);
+  if (TILGC_UNLIKELY(!S))
+    return nullptr;
+  Word *Begin = nullptr;
+  Word *End = nullptr;
+  if (!S->allocateBlock(NeedWords, std::max(NeedWords, TlabWords), Begin, End))
+    return nullptr;
+  TlabSpace = S;
+  TlabNext = Begin;
+  TlabEnd = End;
+  ++LocalStats.TlabRefills;
+  return Begin;
+}
+
+void Mutator::retireTlab() {
+  if (TlabSpace && TlabNext != TlabEnd &&
+      !TlabSpace->returnBlockTail(TlabNext, TlabEnd)) {
+    // Another thread allocated a block past ours: plug the tail with a Pad
+    // so the space stays linearly walkable (heap audits, death sweeps).
+    size_t PadW = static_cast<size_t>(TlabEnd - TlabNext);
+    TlabNext[0] = header::makePad(static_cast<uint32_t>(PadW));
+    LocalStats.TlabPadBytes += PadW * sizeof(Word);
+  }
+  TlabSpace = nullptr;
+  TlabNext = nullptr;
+  TlabEnd = nullptr;
+}
+
+void Mutator::collect(bool Major) {
+  if (TILGC_UNLIKELY(Group != nullptr)) {
+    Group->collectStopped(GroupIdx, Major);
+    return;
+  }
+  GC->collect(Major);
 }
 
 void Mutator::raise(Value Exn) {

@@ -132,11 +132,26 @@ struct MLRaise {
 };
 
 class Frame;
+class MutatorGroup;
 
 /// One runtime instance: heap + stack + registers + collector.
+///
+/// In the multi-mutator runtime (runtime/MutatorGroup.h) several Mutators
+/// share one collector: the group's primary mutator owns it, attached
+/// mutators reference it, and every member allocates through a per-thread
+/// TLAB with a safepoint poll instead of the single-mutator fast path. A
+/// Mutator that was never attached to a group behaves bit-identically to
+/// the pre-group runtime.
 class Mutator {
 public:
   explicit Mutator(const MutatorConfig &Config = MutatorConfig());
+
+  /// Multi-mutator runtime: an attached mutator shares \p SharedGC (owned
+  /// by the group's primary mutator). Only MutatorGroup constructs these —
+  /// the group registers the stack/registers as an extra root context and
+  /// wires the TLAB/safepoint machinery via attachToGroup.
+  Mutator(Collector &SharedGC, const MutatorConfig &Config);
+
   ~Mutator();
   Mutator(const Mutator &) = delete;
   Mutator &operator=(const Mutator &) = delete;
@@ -209,7 +224,18 @@ public:
     *Slot = V.bits();
     if (IsPointerField) {
       ++NumPointerUpdates;
-      GC->writeBarrier(Slot);
+      if (TILGC_UNLIKELY(Group != nullptr)) {
+        // Multi-mutator mode: the shared barrier state (SSB, card table,
+        // hybrid latch) is not thread-safe, so slots buffer thread-locally
+        // and replay through the real barrier at the next safepoint merge
+        // (world stopped, thread-index order). Semantically equivalent for
+        // every barrier kind: SSB/cards dedupe or tolerate late recording,
+        // and the filtered/hybrid checks see the slot's final pre-GC state.
+        if (RecordLocalBarrier)
+          LocalSSB.push_back(Slot);
+      } else {
+        GC->writeBarrier(Slot);
+      }
     }
   }
 
@@ -280,7 +306,7 @@ public:
   // Introspection / control.
   //===--------------------------------------------------------------------===
 
-  void collect(bool Major = false) { GC->collect(Major); }
+  void collect(bool Major = false);
 
   /// Runs the collector's heap verifier on demand (any build mode). Returns
   /// false and fills \p Error on the first violation — the torture driver's
@@ -313,6 +339,8 @@ private:
   Word *allocImpl(ObjectKind Kind, uint32_t LenWords, uint32_t PtrMask,
                   uint32_t Site) {
     Word Descriptor = header::make(Kind, LenWords, PtrMask);
+    if (TILGC_UNLIKELY(Group != nullptr))
+      return allocMulti(Kind, Descriptor, LenWords, PtrMask, Site);
     if (TILGC_LIKELY(siteAllowsFast(Site))) {
       if (TILGC_UNLIKELY(GC->stats().NumGC != FastEpoch)) {
         FastSpace = GC->inlineAllocSpace(FastMaxBytes);
@@ -344,6 +372,70 @@ private:
     return F == 1;
   }
 
+  //===--------------------------------------------------------------------===
+  // Multi-mutator mode (runtime/MutatorGroup.h). All of this is inert —
+  // Group stays null, one branch-not-taken on the allocation and barrier
+  // paths — unless MutatorGroup attached this mutator.
+  //===--------------------------------------------------------------------===
+
+  friend class MutatorGroup;
+
+  /// The multi-mutator allocation path: safepoint poll, then TLAB bump,
+  /// then a stop-the-world slow path through the group.
+  Word *allocMulti(ObjectKind Kind, Word Descriptor, uint32_t LenWords,
+                   uint32_t PtrMask, uint32_t Site);
+
+  /// Retires the current TLAB (if any) and grabs a fresh block of at least
+  /// \p NeedWords from the collector's inline-allocation space. Returns the
+  /// block start, or null if no space/block is available (caller falls to
+  /// the stop-the-world slow path).
+  Word *refillTlab(size_t NeedWords);
+
+  /// Returns the unused TLAB tail to the space if it is still the last
+  /// grant, else plugs it with a Pad so heap walks stay valid.
+  void retireTlab();
+
+  /// Wires this mutator into \p G as thread \p Idx (called by MutatorGroup
+  /// once, with the world quiescent).
+  void attachToGroup(MutatorGroup &G, unsigned Idx, bool Profiling,
+                     bool RecordBarrier);
+
+  /// Thread-local allocation statistics, folded into the shared GcStats at
+  /// each safepoint merge (thread-index order, so totals are deterministic).
+  struct LocalAlloc {
+    uint64_t BytesAllocated = 0;
+    uint64_t ObjectsAllocated = 0;
+    uint64_t RecordBytesAllocated = 0;
+    uint64_t ArrayBytesAllocated = 0;
+    uint64_t TlabRefills = 0;
+    uint64_t TlabPadBytes = 0;
+  };
+
+  MutatorGroup *Group = nullptr;
+  unsigned GroupIdx = 0;
+  /// Generational collectors need barrier records; semispace has none.
+  bool RecordLocalBarrier = false;
+  Word *TlabNext = nullptr;
+  Word *TlabEnd = nullptr;
+  Space *TlabSpace = nullptr;
+  /// Size bound from inlineAllocSpace at attach time; objects at or over it
+  /// (large objects) always take the stop-the-world slow path.
+  size_t TlabMaxBytes = 0;
+  /// Thread-local store buffer: pointer-store slots recorded here and
+  /// replayed through the collector's real write barrier at safepoints.
+  std::vector<Word *> LocalSSB;
+  LocalAlloc LocalStats;
+  /// Shared-counter snapshot from the last safepoint merge; birth stamps in
+  /// TLAB allocations are (SharedBytesAtMerge + local bytes) >> 10, which
+  /// matches the serial stamp stream up to inter-thread interleaving.
+  uint64_t SharedBytesAtMerge = 0;
+  /// Per-thread profiler scratch, merged into the shared profiler at
+  /// safepoints (same scheme as the parallel evacuator's workers).
+  std::unique_ptr<HeapProfiler> LocalProf;
+
+  /// TLAB grant size: 2048 words = 16 KB, 1/32 of the default nursery.
+  static constexpr size_t TlabWords = 2048;
+
   MutatorConfig Config;
   ShadowStack Stack;
   RegisterFile Regs;
@@ -353,7 +445,10 @@ private:
   /// the collector is built so construction-time audits land in it too.
   std::unique_ptr<EventRecorder> Recorder;
   std::string TracePath;
-  std::unique_ptr<Collector> GC;
+  /// The collector: primary/standalone mutators own it (OwnedGC holds it,
+  /// GC points at it); attached mutators alias the group primary's.
+  std::unique_ptr<Collector> OwnedGC;
+  Collector *GC = nullptr;
   std::vector<HandlerEntry> Handlers;
   uint64_t NextHandlerId = 0;
   uint64_t NumPointerUpdates = 0;

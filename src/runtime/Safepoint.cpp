@@ -1,0 +1,82 @@
+//===- runtime/Safepoint.cpp - Stop-the-world rendezvous ------------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Safepoint.h"
+
+#include "observe/GcTelemetry.h"
+#include "support/Fatal.h"
+#include "support/FaultInjector.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace tilgc;
+
+void SafepointCoordinator::arm(unsigned NumThreads) {
+  std::lock_guard<std::mutex> L(M);
+  if (StopInProgress || NumSafe != 0)
+    fatalError("safepoint coordinator re-armed mid-stop");
+  if (NumThreads > ParkBeginNs.size())
+    ParkBeginNs.resize(NumThreads, 0);
+  NumActive = NumThreads;
+}
+
+void SafepointCoordinator::deactivate(unsigned Idx) {
+  (void)Idx;
+  std::lock_guard<std::mutex> L(M);
+  assert(NumActive > 0 && "deactivate without matching arm");
+  --NumActive;
+  OwnerCv.notify_all();
+}
+
+void SafepointCoordinator::yield(unsigned Idx) {
+  if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+      FaultInjector::global().shouldFire(FaultPoint::SafepointStall))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::unique_lock<std::mutex> L(M);
+  while (StopInProgress) {
+    ++NumSafe;
+    ParkBeginNs[Idx] = GcTelemetry::nowNs();
+    OwnerCv.notify_all();
+    ResumeCv.wait(L, [this] { return !StopInProgress; });
+    --NumSafe;
+    ParkBeginNs[Idx] = 0;
+  }
+}
+
+void SafepointCoordinator::beginStopLocked(std::unique_lock<std::mutex> &L,
+                                           unsigned Idx) {
+  // Another thread may own a stop already: park behind it first, then
+  // retry the claim. A queued stopper re-runs its own operation once it
+  // gets the world — often finding the condition that stopped it (a full
+  // nursery) already resolved by the first owner's collection.
+  while (StopInProgress) {
+    ++NumSafe;
+    ParkBeginNs[Idx] = GcTelemetry::nowNs();
+    OwnerCv.notify_all();
+    ResumeCv.wait(L, [this] { return !StopInProgress; });
+    --NumSafe;
+    ParkBeginNs[Idx] = 0;
+  }
+  StopInProgress = true;
+  Requested.store(true, std::memory_order_relaxed);
+  LastWaitBeginNs = GcTelemetry::nowNs();
+  OwnerCv.wait(L, [this] { return NumSafe + 1 >= NumActive; });
+  LastWaitEndNs = GcTelemetry::nowNs();
+  ++NumStops;
+  LastParkSpans.clear();
+  for (unsigned T = 0; T < ParkBeginNs.size(); ++T)
+    if (ParkBeginNs[T] != 0)
+      LastParkSpans.push_back(
+          GcWorkerSpan{T, ParkBeginNs[T], LastWaitEndNs, 0, 0, false});
+}
+
+void SafepointCoordinator::resumeLocked() {
+  Requested.store(false, std::memory_order_relaxed);
+  StopInProgress = false;
+  ResumeCv.notify_all();
+}

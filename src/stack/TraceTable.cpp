@@ -30,6 +30,7 @@ TraceTableRegistry &TraceTableRegistry::global() {
 TraceTableRegistry::TraceTableRegistry() {
   // Key 0 is reserved so that a zeroed slot never looks like a valid frame.
   Layouts.emplace_back("<invalid>", std::vector<Trace>{});
+  NumKeys.store(1, std::memory_order_release);
 }
 
 uint32_t TraceTableRegistry::define(FrameLayout Layout) {
@@ -42,8 +43,10 @@ uint32_t TraceTableRegistry::define(FrameLayout Layout) {
              "pointer slot");
     }
   }
+  std::lock_guard<std::mutex> L(DefineMutex);
   uint32_t Key = static_cast<uint32_t>(Layouts.size());
   assert(Key != StubKey && "trace table registry overflow");
   Layouts.push_back(std::move(Layout));
+  NumKeys.store(Layouts.size(), std::memory_order_release);
   return Key;
 }

@@ -30,8 +30,11 @@
 #include "object/Object.h"
 #include "support/Compiler.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -109,12 +112,20 @@ inline constexpr uint32_t StubKey = 0xFFFFFFFFu;
 /// Registry of frame layouts keyed by return-address key. In TIL this table
 /// is emitted by the compiler; here workloads register their layouts once at
 /// startup.
+///
+/// Thread-safety: layouts register lazily through function-local statics in
+/// workload code, and multi-mutator runs execute per-thread workload
+/// instances concurrently — so define() takes a mutex, storage is a deque
+/// (no element ever moves under a reader), and the published key count is a
+/// release store the lock-free lookup acquires. Single-threaded cost: one
+/// atomic load where a plain size() load was.
 class TraceTableRegistry {
 public:
   /// The process-wide registry (trace tables are program metadata).
   static TraceTableRegistry &global();
 
   /// Registers \p Layout and returns its key. Keys are never reused.
+  /// Thread-safe.
   uint32_t define(FrameLayout Layout);
 
   /// Checked lookup: a key the registry never issued aborts loudly in every
@@ -123,18 +134,21 @@ public:
   /// assert-only check would let release builds index out of bounds and
   /// read wild memory as a FrameLayout.
   const FrameLayout &lookup(uint32_t Key) const {
-    if (TILGC_UNLIKELY(Key >= Layouts.size()))
-      fatalBadKey(Key, Layouts.size());
+    size_t N = NumKeys.load(std::memory_order_acquire);
+    if (TILGC_UNLIKELY(Key >= N))
+      fatalBadKey(Key, N);
     return Layouts[Key];
   }
 
-  size_t size() const { return Layouts.size(); }
+  size_t size() const { return NumKeys.load(std::memory_order_acquire); }
 
 private:
   [[noreturn]] static void fatalBadKey(uint32_t Key, size_t NumKeys);
 
   TraceTableRegistry();
-  std::vector<FrameLayout> Layouts;
+  std::deque<FrameLayout> Layouts;
+  std::atomic<size_t> NumKeys{0};
+  std::mutex DefineMutex;
 };
 
 } // namespace tilgc

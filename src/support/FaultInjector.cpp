@@ -86,6 +86,8 @@ const char *FaultInjector::pointName(FaultPoint P) {
     return "worker-throw";
   case FaultPoint::FromSpacePoison:
     return "from-space-poison";
+  case FaultPoint::SafepointStall:
+    return "safepoint-stall";
   }
   return "unknown";
 }

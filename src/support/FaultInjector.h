@@ -51,11 +51,15 @@ enum class FaultPoint : unsigned {
   /// Collectors poison evacuated from-space regardless of VerifyLevel, so
   /// any stale from-space read trips the misaligned-pointer check.
   FromSpacePoison,
+  /// A mutator thread sleeps just before parking at a safepoint poll,
+  /// stretching the rendezvous window while the other threads sit stopped
+  /// (multi-mutator torture).
+  SafepointStall,
 };
 
 class FaultInjector {
 public:
-  static constexpr unsigned NumPoints = 5;
+  static constexpr unsigned NumPoints = 6;
   /// FireCount value meaning "once triggered, fire on every crossing".
   static constexpr uint64_t Forever = ~static_cast<uint64_t>(0);
 

@@ -37,3 +37,18 @@ Workload *tilgc::findWorkload(const char *Name) {
       return W.get();
   return nullptr;
 }
+
+std::unique_ptr<Workload> tilgc::makeWorkloadByName(const char *Name) {
+  using Factory = std::unique_ptr<Workload> (*)();
+  static constexpr Factory Factories[] = {
+      makeChecksumWorkload, makeColorWorkload,  makeFFTWorkload,
+      makeGrobnerWorkload,  makeKnuthBendixWorkload, makeLexgenWorkload,
+      makeLifeWorkload,     makeNqueenWorkload, makePegWorkload,
+      makePIAWorkload,      makeSimpleWorkload};
+  for (Factory F : Factories) {
+    std::unique_ptr<Workload> W = F();
+    if (std::strcmp(W->name(), Name) == 0)
+      return W;
+  }
+  return nullptr;
+}

@@ -59,6 +59,11 @@ const std::vector<std::unique_ptr<Workload>> &allWorkloads();
 /// Finds a benchmark by (case-sensitive) name; null if unknown.
 Workload *findWorkload(const char *Name);
 
+/// Builds a fresh private instance by name; null if unknown. Multi-mutator
+/// harnesses give each thread its own instance instead of sharing the
+/// allWorkloads() singletons.
+std::unique_ptr<Workload> makeWorkloadByName(const char *Name);
+
 // Factories (one per benchmark translation unit).
 std::unique_ptr<Workload> makeChecksumWorkload();
 std::unique_ptr<Workload> makeColorWorkload();

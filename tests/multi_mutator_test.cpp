@@ -1,0 +1,360 @@
+//===- tests/multi_mutator_test.cpp - N mutators, one heap -----------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-mutator runtime acceptance suite: K threads sharing one heap
+/// must compute exactly the serial answers (checksums, allocation totals,
+/// site profiles, derived pretenure sets), survive safepoint torture under
+/// fault injection, and leave a heap the verifier certifies — TLAB pads
+/// included. Test names matching *MultiMutator*/*Safepoint* are also run
+/// under ThreadSanitizer in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapError.h"
+#include "observe/GcObserver.h"
+#include "observe/GcTelemetry.h"
+#include "runtime/MutatorGroup.h"
+#include "support/FaultInjector.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace tilgc;
+
+namespace {
+
+MutatorConfig groupConfig(const char *Name, CollectorKind Kind) {
+  MutatorConfig C;
+  C.Kind = Kind;
+  C.Name = Name;
+  C.BudgetBytes = 4u << 20; // Shared by every thread in the group.
+  return C;
+}
+
+uint32_t mmKey() {
+  static const uint32_t K = TraceTableRegistry::global().define(FrameLayout(
+      "mm.test", {Trace::pointer(), Trace::pointer(), Trace::pointer()}));
+  return K;
+}
+
+/// Runs \p WorkloadName serially once and returns (checksum-ok, bytes,
+/// objects) so the K-threaded runs can be compared against exact totals.
+struct SerialBaseline {
+  uint64_t Bytes;
+  uint64_t Objects;
+};
+
+SerialBaseline serialBaseline(const char *WorkloadName,
+                              const MutatorConfig &C, double Scale) {
+  Mutator M(C);
+  std::unique_ptr<Workload> W = makeWorkloadByName(WorkloadName);
+  EXPECT_EQ(W->run(M, Scale), W->expected(Scale)) << WorkloadName;
+  return SerialBaseline{M.gcStats().BytesAllocated,
+                        M.gcStats().ObjectsAllocated};
+}
+
+/// K threads, each running a private instance of the workload: every
+/// thread must get the serial checksum, and the merged group totals must
+/// be exactly K times the serial totals.
+void runDifferential(const char *WorkloadName, const MutatorConfig &C,
+                     unsigned K, double Scale, const SerialBaseline &Serial) {
+  std::unique_ptr<Workload> Ref = makeWorkloadByName(WorkloadName);
+  ASSERT_NE(Ref, nullptr);
+  uint64_t Want = Ref->expected(Scale);
+
+  MutatorGroup G(C, K);
+  std::vector<uint64_t> Sums(K, 0);
+  G.run([&](Mutator &M, unsigned I) {
+    std::unique_ptr<Workload> W = makeWorkloadByName(WorkloadName);
+    Sums[I] = W->run(M, Scale);
+  });
+  for (unsigned I = 0; I < K; ++I)
+    EXPECT_EQ(Sums[I], Want) << WorkloadName << " thread " << I << " of "
+                             << K;
+  EXPECT_EQ(G.gcStats().BytesAllocated, K * Serial.Bytes)
+      << WorkloadName << " K=" << K;
+  EXPECT_EQ(G.gcStats().ObjectsAllocated, K * Serial.Objects)
+      << WorkloadName << " K=" << K;
+  std::string Err;
+  EXPECT_TRUE(G.mutator(0).verifyHeap(Err)) << WorkloadName << ": " << Err;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: all eleven workloads, K threads vs serial.
+//===----------------------------------------------------------------------===//
+
+TEST(MultiMutatorDifferential, GenerationalAllWorkloads) {
+  const double Scale = 0.04;
+  for (const auto &W : allWorkloads()) {
+    MutatorConfig C = groupConfig("mm-diff-gen", CollectorKind::Generational);
+    SerialBaseline S = serialBaseline(W->name(), C, Scale);
+    for (unsigned K : {1u, 2u, 8u})
+      runDifferential(W->name(), C, K, Scale, S);
+  }
+}
+
+TEST(MultiMutatorDifferential, SemispaceAllWorkloads) {
+  const double Scale = 0.04;
+  for (const auto &W : allWorkloads()) {
+    MutatorConfig C = groupConfig("mm-diff-semi", CollectorKind::Semispace);
+    SerialBaseline S = serialBaseline(W->name(), C, Scale);
+    runDifferential(W->name(), C, 2, Scale, S);
+  }
+}
+
+TEST(MultiMutatorDifferential, BarrierAndMajorEngineMatrix) {
+  const double Scale = 0.05;
+  const char *Name = "Life";
+  struct Cfg {
+    GenerationalCollector::BarrierKind Barrier;
+    GenerationalCollector::MajorGcKind Major;
+  } Cfgs[] = {
+      {GenerationalCollector::BarrierKind::SequentialStoreBuffer,
+       GenerationalCollector::MajorGcKind::Semispace},
+      {GenerationalCollector::BarrierKind::FilteredStoreBuffer,
+       GenerationalCollector::MajorGcKind::Semispace},
+      {GenerationalCollector::BarrierKind::CardMarking,
+       GenerationalCollector::MajorGcKind::MarkCompact},
+      {GenerationalCollector::BarrierKind::Hybrid,
+       GenerationalCollector::MajorGcKind::MarkCompact},
+  };
+  for (const Cfg &K : Cfgs) {
+    MutatorConfig C = groupConfig("mm-diff-matrix", CollectorKind::Generational);
+    C.Barrier = K.Barrier;
+    C.MajorGc = K.Major;
+    C.NurseryLimitBytes = 128u << 10; // Constant collection pressure.
+    C.VerifyLevel = 1;
+    SerialBaseline S = serialBaseline(Name, C, Scale);
+    runDifferential(Name, C, 4, Scale, S);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Profiles and pretenure sets.
+//===----------------------------------------------------------------------===//
+
+TEST(MultiMutatorProfile, MergedProfileAndPretenureSetMatchSerial) {
+  static const uint32_t LiveSite =
+      AllocSiteRegistry::global().define("mm.prof.live");
+  static const uint32_t DeadSite =
+      AllocSiteRegistry::global().define("mm.prof.dead");
+  const unsigned K = 4;
+  const int LivePerThread = 16, DeadPerThread = 192;
+
+  // Each thread retains LivePerThread records forever (cons list in slot
+  // 1), churns DeadPerThread that die immediately, then collects — so
+  // old% is 1.0 / ~0.0 per site regardless of thread interleaving.
+  auto Body = [&](Mutator &M) {
+    Frame F(M, mmKey());
+    for (int I = 0; I < LivePerThread; ++I) {
+      Value Cell = M.allocRecord(LiveSite, 2, 0b10);
+      M.initField(Cell, 1, F.get(1));
+      F.set(1, Cell);
+      for (int J = 0; J < DeadPerThread / LivePerThread; ++J)
+        F.set(2, M.allocRecord(DeadSite, 2, 0));
+      F.set(2, Value::null());
+    }
+    M.collect(false);
+  };
+
+  MutatorConfig C = groupConfig("mm-profile", CollectorKind::Generational);
+  C.EnableProfiling = true;
+
+  Mutator Serial(C);
+  for (unsigned R = 0; R < K; ++R)
+    Body(Serial);
+
+  MutatorGroup G(C, K);
+  G.run([&](Mutator &M, unsigned) { Body(M); });
+
+  HeapProfiler *GP = G.profiler();
+  HeapProfiler *SP = Serial.profiler();
+  ASSERT_NE(GP, nullptr);
+  ASSERT_NE(SP, nullptr);
+
+  // Allocation-side profile: exact equality per site.
+  for (uint32_t Site : {LiveSite, DeadSite}) {
+    EXPECT_EQ(GP->site(Site).AllocBytes, SP->site(Site).AllocBytes);
+    EXPECT_EQ(GP->site(Site).AllocCount, SP->site(Site).AllocCount);
+    EXPECT_EQ(GP->site(Site).AllocCount,
+              uint64_t(K * (Site == LiveSite ? LivePerThread
+                                             : DeadPerThread)));
+  }
+  EXPECT_EQ(GP->site(LiveSite).oldFraction(), 1.0);
+
+  // Derived pretenure sets: identical site sets.
+  auto SiteSet = [](const std::vector<PretenureDecision> &Ds) {
+    std::set<uint32_t> S;
+    for (const PretenureDecision &D : Ds)
+      S.insert(D.SiteId);
+    return S;
+  };
+  EXPECT_EQ(SiteSet(GP->derivePretenureSet(0.8, 8)),
+            SiteSet(SP->derivePretenureSet(0.8, 8)));
+  EXPECT_EQ(SiteSet(GP->derivePretenureSet(0.8, 8)).count(LiveSite), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// TLAB machinery.
+//===----------------------------------------------------------------------===//
+
+TEST(MultiMutatorTlab, RefillsPadsAndExactTotals) {
+  static const uint32_t Site = AllocSiteRegistry::global().define("mm.tlab");
+  const unsigned K = 4;
+  const int PerThread = 3000; // ~96 KB each: several TLAB refills + GCs.
+
+  MutatorConfig C = groupConfig("mm-tlab", CollectorKind::Generational);
+  C.NurseryLimitBytes = 96u << 10;
+  C.VerifyLevel = 1; // Post-GC heap walks must step over TLAB pads.
+  MutatorGroup G(C, K);
+  G.run([&](Mutator &M, unsigned) {
+    Frame F(M, mmKey());
+    for (int I = 0; I < PerThread; ++I)
+      F.set(1, M.allocRecord(Site, 2, 0));
+  });
+
+  const GcStats &S = G.gcStats();
+  EXPECT_GT(S.TlabRefills, uint64_t(K)); // At least one refill per thread.
+  EXPECT_GT(S.NumGC, 0u);
+  EXPECT_GT(S.SafepointStops, 0u);
+  EXPECT_EQ(S.SafepointStops, G.safepoint().stops());
+  // Exact totals: every one of the K*PerThread records, nothing else from
+  // this heap, and pads are accounted separately from object bytes.
+  uint64_t ObjBytes = uint64_t(2 + HeaderWords) * sizeof(Word);
+  EXPECT_EQ(S.ObjectsAllocated, uint64_t(K) * PerThread);
+  EXPECT_EQ(S.BytesAllocated, uint64_t(K) * PerThread * ObjBytes);
+  std::string Err;
+  EXPECT_TRUE(G.mutator(0).verifyHeap(Err)) << Err;
+}
+
+TEST(MultiMutatorTlab, SingleMutatorGroupKeepsSerialTotals) {
+  // K=1 still runs the TLAB/safepoint machinery; totals must match a plain
+  // serial mutator exactly.
+  const double Scale = 0.08;
+  MutatorConfig C = groupConfig("mm-k1", CollectorKind::Generational);
+  SerialBaseline S = serialBaseline("Checksum", C, Scale);
+  runDifferential("Checksum", C, 1, Scale, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Safepoint protocol.
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct ScopedFaults {
+  ScopedFaults() { FaultInjector::global().reset(); }
+  ~ScopedFaults() { FaultInjector::global().reset(); }
+};
+} // namespace
+
+TEST(SafepointTorture, StallFaultStretchesRendezvousSafely) {
+  ScopedFaults Guard;
+  // Park attempts 10..510 sleep 1ms before parking: threads arrive at the
+  // rendezvous maximally skewed while others block in allocation. Bounded
+  // so the injected delay cannot exceed ~0.5s of the run.
+  FaultInjector::global().arm(FaultPoint::SafepointStall, 10,
+                              /*FireCount=*/500);
+  const unsigned K = 4;
+  const double Scale = 0.05;
+  MutatorConfig C = groupConfig("safepoint-torture",
+                                CollectorKind::Generational);
+  C.NurseryLimitBytes = 64u << 10; // Frequent stops.
+  C.VerifyLevel = 1;
+  std::unique_ptr<Workload> Ref = makeWorkloadByName("Life");
+  uint64_t Want = Ref->expected(Scale);
+
+  MutatorGroup G(C, K);
+  std::vector<uint64_t> Sums(K, 0);
+  G.run([&](Mutator &M, unsigned I) {
+    std::unique_ptr<Workload> W = makeWorkloadByName("Life");
+    Sums[I] = W->run(M, Scale);
+  });
+  for (unsigned I = 0; I < K; ++I)
+    EXPECT_EQ(Sums[I], Want) << "thread " << I;
+  EXPECT_GT(G.safepoint().stops(), 0u);
+  EXPECT_GE(FaultInjector::global().fired(FaultPoint::SafepointStall), 1u);
+  std::string Err;
+  EXPECT_TRUE(G.mutator(0).verifyHeap(Err)) << Err;
+}
+
+TEST(SafepointTelemetry, WaitPhaseHistogramAndStats) {
+  struct Capture : GcObserver {
+    std::vector<GcEvent> Events;
+    void onGcEnd(const GcEvent &E) override { Events.push_back(E); }
+  } Obs;
+
+  const unsigned K = 2;
+  MutatorConfig C = groupConfig("mm-telemetry", CollectorKind::Generational);
+  C.NurseryLimitBytes = 64u << 10;
+  C.Observer = &Obs;
+  MutatorGroup G(C, K);
+  G.run([&](Mutator &M, unsigned) {
+    std::unique_ptr<Workload> W = makeWorkloadByName("Life");
+    W->run(M, 0.05);
+  });
+
+  ASSERT_FALSE(Obs.Events.empty());
+  bool SawWait = false, SawSpans = false;
+  for (const GcEvent &E : Obs.Events) {
+    uint64_t D = E.PhaseDurNs[static_cast<unsigned>(GcPhase::SafepointWait)];
+    if (D > 0)
+      SawWait = true;
+    if (!E.MutatorSpans.empty()) {
+      SawSpans = true;
+      for (const GcWorkerSpan &Sp : E.MutatorSpans) {
+        EXPECT_LT(Sp.Index, K);
+        EXPECT_LE(Sp.BeginNs, Sp.EndNs);
+      }
+    }
+    // The tested pause invariant must hold with the new phase: the event
+    // window was extended back to the wait begin.
+    EXPECT_LE(E.phaseTotalNs(), E.PauseNs);
+  }
+  EXPECT_TRUE(SawWait) << "no collection recorded a safepoint-wait phase";
+  EXPECT_TRUE(SawSpans) << "no collection recorded mutator park spans";
+
+  // Every stop recorded one rendezvous wait in the always-on histogram.
+  const GcTelemetry &Tel = G.collector().telemetry();
+  EXPECT_EQ(Tel.safepointHistogram().count(), G.safepoint().stops());
+  EXPECT_EQ(G.gcStats().SafepointStops, G.safepoint().stops());
+}
+
+TEST(SafepointTelemetry, TraceExportCarriesMutatorTracks) {
+  const char *Path = "mm_trace_test.json";
+  {
+    MutatorConfig C = groupConfig("mm-trace", CollectorKind::Generational);
+    C.NurseryLimitBytes = 64u << 10;
+    C.TraceOutPath = Path;
+    MutatorGroup G(C, 2);
+    G.run([&](Mutator &M, unsigned) {
+      std::unique_ptr<Workload> W = makeWorkloadByName("Life");
+      W->run(M, 0.05);
+    });
+  } // Group destruction writes the trace through the primary mutator.
+
+  std::FILE *F = std::fopen(Path, "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Json;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Json.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path);
+
+  EXPECT_NE(Json.find("safepoint park"), std::string::npos);
+  EXPECT_NE(Json.find("\"mutator "), std::string::npos);
+  EXPECT_NE(Json.find("safepoint-wait"), std::string::npos);
+}

@@ -17,11 +17,13 @@
 
 #include "gc/HeapError.h"
 #include "runtime/Mutator.h"
+#include "runtime/MutatorGroup.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 using namespace tilgc;
 
@@ -330,4 +332,45 @@ TEST(OomProtocolDeath, HostAllocationFailureDiesStructurally) {
         S.reserve(~size_t{0} / 2);
       },
       "space reservation of .* failed: host out of memory");
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-mutator exhaustion: a hard cap shared by K threads must surface a
+// catchable HeapExhausted on EVERY thread (each unwinds through its own
+// stop-the-world slow path) and leave a heap the verifier certifies.
+// Compiled into the NDEBUG twin too: the protocol cannot lean on asserts.
+//===----------------------------------------------------------------------===//
+
+TEST(OomProtocolMultiMutator, HardCapUnwindsEveryThread) {
+  MutatorConfig C = tinyConfig(CollectorKind::Generational, "mm-oom");
+  C.HardLimitBytes = 2u << 20;
+  const unsigned K = 3;
+  MutatorGroup G(C, K);
+  std::vector<int> Caught(K, 0);
+  G.run([&](Mutator &M, unsigned I) {
+    Frame F(M, oomKey());
+    try {
+      for (uint64_t J = 0;; ++J) {
+        Value Cell = M.allocRecord(oomSite(), 2, 0b10);
+        M.initField(Cell, 0, Value::fromInt(static_cast<int64_t>(J)));
+        M.initField(Cell, 1, F.get(1));
+        F.set(1, Cell);
+        if (J > (64u << 20)) // Paranoia bound; the cap trips far earlier.
+          break;
+      }
+    } catch (const HeapExhausted &E) {
+      std::string What = E.what();
+      if (What.find("heap exhausted") != std::string::npos &&
+          What.find("tilgc heap state") != std::string::npos)
+        Caught[I] = 1;
+    }
+    // Dropping this thread's list (Frame pops here) frees room, so the
+    // remaining threads run on until the cap trips for each in turn.
+  });
+  for (unsigned I = 0; I < K; ++I)
+    EXPECT_EQ(Caught[I], 1) << "thread " << I
+                            << " did not catch a structured HeapExhausted";
+  EXPECT_GE(G.gcStats().HeapExhaustedThrows, uint64_t(K));
+  std::string Error;
+  EXPECT_TRUE(G.mutator(0).verifyHeap(Error)) << Error;
 }
