@@ -65,6 +65,46 @@ void BM_AllocDisarmedInjector(benchmark::State &State) {
 }
 BENCHMARK(BM_AllocDisarmedInjector);
 
+/// The allocation fast path with the watchdog disarmed (deadline 0, the
+/// default). Supervision must be free when it is off: the supervisor
+/// thread is never started, arm()/disarm() are never called, and the
+/// live-phase atomic is never stored. Any delta against
+/// BM_AllocDisarmedInjector is a regression.
+void BM_AllocDisarmedWatchdog(benchmark::State &State) {
+  FaultInjector::global().reset();
+  MutatorConfig C = config(0);
+  C.GcDeadlineMicros = 0;        // Explicit: supervision disarmed.
+  C.SafepointDeadlineMicros = 0;
+  Mutator M(C);
+  Frame F(M, key());
+  for (auto _ : State) {
+    F.set(1, M.allocRecord(site(), 2, 0b10));
+    benchmark::DoNotOptimize(F.get(1).bits());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AllocDisarmedWatchdog);
+
+/// Allocation churn with the GC-cycle watchdog armed at a generous
+/// deadline that never expires: prices the per-collection arm/disarm pair
+/// (one mutex lock + condvar notify each) and the relaxed live-phase
+/// stores — nothing per allocation.
+void BM_ChurnArmedWatchdog(benchmark::State &State) {
+  MutatorConfig C = config(0);
+  C.GcDeadlineMicros = static_cast<uint64_t>(State.range(0));
+  Mutator M(C);
+  Frame F(M, key());
+  uint64_t I = 0;
+  for (auto _ : State) {
+    F.set(1, consInt(M, site(), static_cast<int64_t>(I), slot(F, 1)));
+    if ((++I & 0x3FF) == 0)
+      F.set(1, Value::null()); // Bound the live list; keep GCs minor-ish.
+    benchmark::DoNotOptimize(F.get(1).bits());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ChurnArmedWatchdog)->Arg(0)->Arg(10000000);
+
 /// Allocation churn with live data and periodic collections at each audit
 /// level. Level 0 is the production configuration and the zero-overhead
 /// guardrail; level 1 walks the heap after every GC; level 2 adds the

@@ -70,7 +70,7 @@ std::string Collector::heapStateDump() const {
   return Out;
 }
 
-void Collector::throwHeapExhausted(uint64_t RequestedBytes) {
+void Collector::throwHeapExhausted(uint64_t RequestedBytes, OomStage Stage) {
   ++Stats.HeapExhaustedThrows;
-  throw HeapExhausted(RequestedBytes, heapStateDump());
+  throw HeapExhausted(RequestedBytes, Stage, heapStateDump());
 }

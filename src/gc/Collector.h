@@ -14,6 +14,7 @@
 #define TILGC_GC_COLLECTOR_H
 
 #include "gc/GcStats.h"
+#include "gc/HeapError.h"
 #include "heap/Space.h"
 #include "object/Object.h"
 #include "observe/GcTelemetry.h"
@@ -157,9 +158,11 @@ public:
 
 protected:
   /// Terminal rung of the OOM escalation ladder: records the failure and
-  /// throws HeapExhausted carrying heapStateDump(). Only call between
-  /// collections (the heap must be intact for the dump walk).
-  [[noreturn]] void throwHeapExhausted(uint64_t RequestedBytes);
+  /// throws HeapExhausted carrying heapStateDump() and the ladder stage
+  /// reached. Only call between collections (the heap must be intact for
+  /// the dump walk).
+  [[noreturn]] void throwHeapExhausted(uint64_t RequestedBytes,
+                                       OomStage Stage);
 
   /// Collector-specific lines of heapStateDump (name, budget, per-space
   /// occupancy).

@@ -99,6 +99,12 @@ struct GcStats {
   uint64_t EvacSerialRecoveries = 0; ///< Evacuations finished by serial drain.
   uint64_t MarkWorkerFaults = 0;    ///< Parallel-mark workers faulted.
   uint64_t MarkSerialRecoveries = 0; ///< Marks finished by a serial re-trace.
+  /// Majors where a mark-/plan-phase fault (injected or watchdog-detected)
+  /// aborted the MarkCompact engine and a semispace evacuation finished the
+  /// collection instead.
+  uint64_t MajorEngineFailovers = 0;
+  /// Dirty-card sweeps that threw and degraded to a full tenured walk.
+  uint64_t CardSweepFaults = 0;
 
   // Time split. StackTime and CopyTime accumulate inside GcTime regions;
   // the remainder of GcTime is bookkeeping (resizing, sweeping).

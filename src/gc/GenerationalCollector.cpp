@@ -79,6 +79,10 @@ GenerationalCollector::GenerationalCollector(const CollectorEnv &Env,
   }
   if (Opts.GcThreads > 1)
     Pool = std::make_unique<WorkerPool>(Opts.GcThreads);
+  if (Opts.GcDeadlineMicros)
+    // Bark diagnostics read the in-flight phase from a relaxed atomic the
+    // telemetry plane only publishes when someone is watching.
+    Tel.enableLivePhase();
 
   // Root-side containers live for the collector's lifetime; reserving here
   // means steady-state collections never grow them. (SSB entries between
@@ -134,7 +138,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
         doMajor(0, GcTrigger::LargeObjectPressure);
       }
       if (footprintBytes() + Total > Opts.HardLimitBytes)
-        throwHeapExhausted(Total);
+        throwHeapExhausted(Total, OomStage::RetryAfterMajor);
     }
     Word *Payload = LOS.allocate(Descriptor, makeMeta(SiteId));
     NewLargeObjects.push_back(Payload);
@@ -155,7 +159,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
       }
       Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
       if (TILGC_UNLIKELY(!Payload))
-        throwHeapExhausted(Total);
+        throwHeapExhausted(Total, OomStage::RetryAfterMajor);
     }
     notePretenuredRun(Payload, Descriptor, PretenureFlag[SiteId] == 2);
     if (usesCardBarrier()) {
@@ -196,7 +200,7 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
         // initializing stores are scanned at the next minor collection.
         Payload = TenuredFrom->allocate(Descriptor, makeMeta(SiteId));
         if (TILGC_UNLIKELY(!Payload))
-          throwHeapExhausted(Total);
+          throwHeapExhausted(Total, OomStage::TenuredFallback);
         notePretenuredRun(Payload, Descriptor, /*NoScan=*/false);
         if (usesCardBarrier()) {
           CrossMap.recordObject(Payload - HeaderWords,
@@ -336,30 +340,60 @@ template <typename SlotFn>
 void GenerationalCollector::sweepDirtyCards(SlotFn Fn) {
   size_t NumCards = Cards.numCards();
   uint64_t CardsScanned = 0, SlotsVisited = 0;
+  bool Faulted = false;
   if (Pool && Cards.numDirtyCards() >= ParallelSweepMinDirtyCards) {
     unsigned N = Pool->numWorkers();
     SweepScratch.resize(N);
     std::vector<uint64_t> WCards(N, 0), WSlots(N, 0);
+    std::vector<uint8_t> WFault(N, 0);
     Pool->runOnAll([&](unsigned I) {
       SweepScratch[I].clear();
       size_t Begin = NumCards * I / N;
       size_t End = NumCards * (I + 1) / N;
-      Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, Begin, End, WCards[I],
-                               WSlots[I],
-                               [&](Word *F) { SweepScratch[I].push_back(F); });
+      // Exceptions must not cross the pool boundary (runOnAll joins, it
+      // does not transport); a faulted stripe is flagged and the sweep
+      // degrades to the full-walk fallback below.
+      try {
+        Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, Begin, End,
+                                 WCards[I], WSlots[I], [&](Word *F) {
+                                   SweepScratch[I].push_back(F);
+                                 });
+      } catch (const CardSweepFault &) {
+        WFault[I] = 1;
+      }
     });
     for (unsigned I = 0; I < N; ++I) {
       CardsScanned += WCards[I];
       SlotsVisited += WSlots[I];
-      for (Word *F : SweepScratch[I])
-        Fn(F);
+      if (WFault[I])
+        Faulted = true;
     }
+    if (!Faulted)
+      for (unsigned I = 0; I < N; ++I)
+        for (Word *F : SweepScratch[I])
+          Fn(F);
   } else {
-    Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, 0, NumCards, CardsScanned,
-                             SlotsVisited, Fn);
+    try {
+      Cards.scanDirtyCardRange(*TenuredFrom, CrossMap, 0, NumCards,
+                               CardsScanned, SlotsVisited, Fn);
+    } catch (const CardSweepFault &) {
+      Faulted = true;
+    }
   }
   Stats.CardsScanned += CardsScanned;
   Stats.CardSlotsVisited += SlotsVisited;
+  if (TILGC_UNLIKELY(Faulted)) {
+    // Degraded completeness: a throwing sweep may have emitted only part
+    // of the dirty-card field set, so re-derive the whole remembered set
+    // from first principles — every pointer field of every tenured object.
+    // Duplicates with fields already emitted are harmless (forwarding is
+    // idempotent, same as duplicate SSB entries); the cost is one tenured
+    // walk, paid only on the faulted collection.
+    ++Stats.CardSweepFaults;
+    TenuredFrom->walk([&](Word *Payload, Word, bool) {
+      forEachPointerField(Payload, [&](Word *Field) { Fn(Field); });
+    });
+  }
 }
 
 template <typename SlotFn>
@@ -440,6 +474,11 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
 
   ++Stats.NumGC;
   Tel.beginCollection(GcGeneration::Minor, Trigger, Stats.NumGC);
+  // Arms the GC-cycle watchdog (no-op with a zero deadline). The scope
+  // covers a tenured-pressure chained major too (armGcWatchdog is
+  // depth-counted), so one deadline bounds the whole pause the mutator
+  // observes.
+  GcWatchScope WatchScope(*this);
   accountStackAtGC();
   scanStackForRoots();
 
@@ -724,12 +763,14 @@ void GenerationalCollector::doMajorSemispace(size_t NeedTenuredBytes,
     size_t ToCap = std::max(TenuredTo->capacityBytes(), Reserve);
     size_t Peak = footprintBytes() - TenuredTo->capacityBytes() + ToCap;
     if (Peak > Opts.HardLimitBytes)
-      throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Reserve);
+      throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Reserve,
+                         OomStage::HardCapPreflight);
   }
 
   ++Stats.NumGC;
   ++Stats.NumMajorGC;
   Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
+  GcWatchScope WatchScope(*this);
   accountStackAtGC();
   scanStackForRoots();
 
@@ -921,10 +962,22 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
   ++Stats.NumGC;
   ++Stats.NumMajorGC;
   Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
+  GcWatchScope WatchScope(*this);
   noteFootprint();
   accountStackAtGC();
   scanStackForRoots();
 
+  // After FailoverStickyLimit consecutive failovers the mark-compact engine
+  // is not trusted with another attempt: every later major runs the
+  // semispace fallback directly (same roots, same observable results).
+  if (TILGC_UNLIKELY(McStickyDisabled)) {
+    runMajorEvacuationFallback(NeedTenuredBytes);
+    finishMajorEvent();
+    return;
+  }
+
+  bool FailedOver = false;
+  {
   MarkCompact::Config MCC;
   MCC.Young = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr};
   MCC.Tenured = TenuredFrom;
@@ -935,6 +988,11 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
   if (usesCardBarrier())
     MCC.CrossDest = &CrossMap;
   MCC.Pool = Pool.get();
+  if (Opts.GcDeadlineMicros && Opts.WatchdogEscalation != WatchdogPolicy::Report)
+    // Watchdog-requested recovery: mark/plan abort points poll this latch
+    // and throw MarkPlanFault, which the handler below turns into an
+    // engine failover.
+    MCC.AbortFlag = WD.recoverFlag();
   MarkCompact M(MCC);
 
   {
@@ -946,6 +1004,7 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
     M.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
     M.addRootSpan(Roots.ReusedSlotRoots.data(), Roots.ReusedSlotRoots.size());
   }
+  try {
   {
     TimerScope T(Stats.CopyTime);
     M.mark(); // Mark phase scope inside.
@@ -966,6 +1025,10 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
   size_t Floor = Planned + NeedTenuredBytes + MinorHeadroom + (16u << 10);
 
   if (Floor <= TenuredFrom->capacityBytes()) {
+    // Hard pre-commit barrier: the last point where this collection can
+    // still be abandoned. compact() begins destructive memmoves; past this
+    // line abort requests are ignored and the engine must finish.
+    M.preCommitCheck();
     // In-place compaction: nothing is reserved and the footprint can only
     // shrink, so there is no hard-cap pre-flight on this path — the
     // unconditional pre-flight (and its sticky exhaustion) was only ever a
@@ -1088,7 +1151,8 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
         // LOS sweep only freed garbage and cleared mark bits, and no state
         // is sticky — a retry after the mutator drops data can succeed.
         Tel.endCollection();
-        throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Floor);
+        throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Floor,
+                           OomStage::HardCapPreflight);
       }
       Desired = std::clamp(Desired, Floor, std::max(Room, Floor));
     }
@@ -1128,6 +1192,34 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
       LOSAllocSinceGC = 0;
     }
   }
+  ConsecutiveMcFailovers = 0;
+  } catch (const MarkPlanFault &) {
+    // Engine failover: the mark/plan phases are mutation-free, so the heap
+    // is exactly as the mutator left it. Abandon the mark-compact attempt
+    // and finish this collection with a semispace evacuation instead.
+    ++Stats.MajorEngineFailovers;
+    if (++ConsecutiveMcFailovers >= Opts.FailoverStickyLimit)
+      McStickyDisabled = true;
+    if (GcEvent *Ev = Tel.currentEvent())
+      Ev->EngineFailover = true;
+    // The aborted mark may have left a partial LOS mark set; clear it
+    // WITHOUT sweeping (an unmarked-but-live object must not be freed).
+    // The fallback evacuation re-marks live LOS objects via its own trace.
+    LOS.clearMarks();
+    FailedOver = true;
+  }
+  } // MarkCompact engine scope: bitmaps and plan state released here.
+
+  if (TILGC_UNLIKELY(FailedOver))
+    runMajorEvacuationFallback(NeedTenuredBytes);
+
+  finishMajorEvent();
+}
+
+/// Closes out a major collection event: verification, deterministic event
+/// fields, telemetry end, footprint sample. Shared by the mark-compact
+/// paths (success, failover, sticky fallback).
+void GenerationalCollector::finishMajorEvent() {
   maybeVerifyHeap("major");
 
   if (GcEvent *Ev = Tel.currentEvent()) {
@@ -1140,6 +1232,94 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
   HybridSwitchedSinceGC = false;
   Tel.endCollection();
   noteFootprint();
+}
+
+void GenerationalCollector::runMajorEvacuationFallback(size_t NeedTenuredBytes) {
+  // Semispace-for-this-collection: one evacuating swap through a transient
+  // to-space (TenuredTo stands at capacity 0 in mark-compact mode),
+  // released afterwards so the 2x reservation never becomes standing. The
+  // reservation leaves the next minor's worst case so the fallback does not
+  // immediately pressure-chain into another major.
+  size_t Incoming = TenuredFrom->usedBytes() + NurseryFrom->usedBytes() +
+                    (AgedTenuring() ? NurseryTo->usedBytes() : 0);
+  size_t MinorHeadroom = NurseryFrom->capacityBytes();
+  if (Pool)
+    MinorHeadroom += ParallelEvacuator::reserveSlackBytes(
+        NurseryFrom->capacityBytes(), Opts.GcThreads);
+  size_t Reserve = Incoming + NeedTenuredBytes + MinorHeadroom + (16u << 10);
+  if (Pool)
+    Reserve += ParallelEvacuator::reserveSlackBytes(Incoming, Opts.GcThreads);
+
+  // Hard-cap pre-flight before anything moves: refuse catchably with the
+  // heap intact (the aborted mark mutated nothing).
+  if (TILGC_UNLIKELY(Opts.HardLimitBytes)) {
+    size_t Standing = footprintBytes();
+    size_t Room =
+        Opts.HardLimitBytes > Standing ? Opts.HardLimitBytes - Standing : 0;
+    if (Reserve > Room) {
+      Tel.endCollection();
+      throwHeapExhausted(NeedTenuredBytes ? NeedTenuredBytes : Reserve,
+                         OomStage::HardCapPreflight);
+    }
+  }
+
+  evacuateMajorInto(Reserve);
+
+  {
+    GcTelemetry::PhaseScope ResizePS(Tel, GcPhase::Resize);
+    // Drop the swap's source and re-bind the region overlay to the live
+    // space — also discarding any partial mark/plan state the aborted
+    // engine left in the overlay.
+    TenuredTo->release();
+    Regions.attach(*TenuredFrom);
+
+    if (TILGC_UNLIKELY(shouldPoison())) {
+      NurseryFrom->poisonFreeSpace();
+      if (AgedTenuring())
+        NurseryTo->poisonFreeSpace();
+      TenuredFrom->poisonFreeSpace();
+    }
+    if (usesCardBarrier()) {
+      Cards.attach(*TenuredFrom);
+      recomputeHybridThreshold();
+      assert(CrossMap.boundTo(*TenuredFrom) &&
+             "crossing map lost the failover swap");
+    }
+    LOSAllocSinceGC = 0;
+  }
+}
+
+void GenerationalCollector::armGcWatchdog() {
+  if (TILGC_LIKELY(Opts.GcDeadlineMicros == 0))
+    return;
+  if (WatchDepth++ > 0)
+    return; // Chained collection: the outer window keeps ticking.
+  WD.clearRecoverRequest();
+  WatchdogBark Proto;
+  Proto.What = WatchdogBark::Kind::GcCycle;
+  Proto.Seq = Stats.NumGC;
+  Proto.DeadlineMicros = Opts.GcDeadlineMicros;
+  Proto.Policy = Opts.WatchdogEscalation;
+  // Captured on this (the collecting) thread while the heap is quiescent;
+  // the supervisor must not walk spaces that are in motion at expiry.
+  Proto.Detail = "heap state at cycle entry:\n";
+  appendHeapState(Proto.Detail);
+  GcTelemetry *T = &Tel;
+  WD.arm(
+      std::move(Proto), Opts.GcDeadlineMicros,
+      [T](WatchdogBark &B) {
+        B.WhenNs = GcTelemetry::nowNs();
+        B.PhaseOrdinal = T->livePhaseOrdinal();
+      },
+      [T](const WatchdogBark &B) { T->noteWatchdogBark(B); });
+}
+
+void GenerationalCollector::disarmGcWatchdog() {
+  if (TILGC_LIKELY(Opts.GcDeadlineMicros == 0))
+    return;
+  if (--WatchDepth > 0)
+    return;
+  WD.disarm();
 }
 
 void GenerationalCollector::appendHeapState(std::string &Out) const {

@@ -36,6 +36,7 @@
 #include "heap/RegionManager.h"
 #include "heap/Space.h"
 #include "heap/StoreBuffer.h"
+#include "support/Watchdog.h"
 
 #include <memory>
 #include <vector>
@@ -135,6 +136,26 @@ public:
     /// bit-identical; MarkCompact trades it for ~1× footprint and
     /// move-only-what-pays compaction.
     MajorGcKind MajorGc = MajorGcKind::Semispace;
+    /// GC-cycle watchdog deadline in microseconds; 0 (the default) leaves
+    /// the supervisor disarmed and free on every path. When set, a
+    /// supervisor thread barks (GcObserver::onWatchdogBark + trace
+    /// instant) if any single collection outlives the deadline, then
+    /// escalates per WatchdogEscalation.
+    uint64_t GcDeadlineMicros = 0;
+    /// Safepoint-rendezvous watchdog deadline in microseconds; 0 =
+    /// disarmed. Consumed by the multi-mutator runtime (MutatorGroup /
+    /// SafepointCoordinator); carried here so one options struct describes
+    /// the whole supervision policy.
+    uint64_t SafepointDeadlineMicros = 0;
+    /// What a watchdog bark escalates to. Report: diagnostic only.
+    /// Recover: additionally request a cooperative abort — a mark-/plan-
+    /// phase abort in MarkCompact fails the major over to a semispace
+    /// evacuation. Fatal: terminate with the stall diagnostic.
+    WatchdogPolicy WatchdogEscalation = WatchdogPolicy::Recover;
+    /// After this many consecutive major-engine failovers, MarkCompact is
+    /// sticky-disabled and every later major runs the semispace fallback
+    /// (the MMTk lesson: when a plan keeps failing, switch plans).
+    unsigned FailoverStickyLimit = 3;
   };
 
   GenerationalCollector(const CollectorEnv &Env, const Options &Opts);
@@ -187,6 +208,13 @@ public:
     return NurseryFrom;
   }
 
+  /// The GC-cycle supervisor (tests / diagnostics; idle unless
+  /// Opts.GcDeadlineMicros is set).
+  Watchdog &gcWatchdog() { return WD; }
+  /// True once FailoverStickyLimit consecutive failovers disabled the
+  /// mark-compact engine for this collector\'s lifetime.
+  bool markCompactDisabled() const { return McStickyDisabled; }
+
 private:
   bool AgedTenuring() const { return Opts.PromoteAgeThreshold > 1; }
 
@@ -210,6 +238,36 @@ private:
   void evacuateMajorInto(size_t ReserveBytes);
   /// Samples Stats.MaxFootprintBytes against the current footprint.
   void noteFootprint();
+
+  /// Closes out a major collection event (verify, deterministic event
+  /// fields, endCollection, footprint) — shared by the mark-compact
+  /// success/failover/sticky paths.
+  void finishMajorEvent();
+
+  /// Semispace-for-this-collection failover/fallback body: hard-cap
+  /// pre-flight, evacuating swap, transient to-space released, region
+  /// overlay re-bound. Used when a MarkPlanFault aborts the mark-compact
+  /// engine and for every major after a sticky disable.
+  void runMajorEvacuationFallback(size_t NeedTenuredBytes);
+
+  /// Arms/disarms the per-cycle GC watchdog (no-ops when
+  /// Opts.GcDeadlineMicros == 0).
+  void armGcWatchdog();
+  void disarmGcWatchdog();
+
+  /// RAII window for the GC-cycle watchdog: one collection event.
+  class GcWatchScope {
+  public:
+    explicit GcWatchScope(GenerationalCollector &C) : C(C) {
+      C.armGcWatchdog();
+    }
+    ~GcWatchScope() { C.disarmGcWatchdog(); }
+    GcWatchScope(const GcWatchScope &) = delete;
+    GcWatchScope &operator=(const GcWatchScope &) = delete;
+
+  private:
+    GenerationalCollector &C;
+  };
 
   /// Scans the stack into Roots, accounting time and counters.
   void scanStackForRoots();
@@ -352,6 +410,17 @@ private:
   bool TenuredToPoisonValid = false;
   /// Present only when Opts.GcThreads > 1.
   std::unique_ptr<WorkerPool> Pool;
+  /// GC-cycle supervisor; its thread starts lazily on the first armed
+  /// window, so a zero deadline never pays for it.
+  Watchdog WD;
+  /// Consecutive majors where the mark-compact engine aborted and the
+  /// semispace fallback finished the collection. Reset by any MC success.
+  unsigned ConsecutiveMcFailovers = 0;
+  /// Sticky: set once ConsecutiveMcFailovers reaches FailoverStickyLimit.
+  bool McStickyDisabled = false;
+  /// Arm nesting depth: a tenured-pressure major chained inside a minor
+  /// keeps the minor's watchdog window instead of re-arming.
+  unsigned WatchDepth = 0;
 };
 
 } // namespace tilgc

@@ -26,13 +26,46 @@
 
 namespace tilgc {
 
+/// How far up the OOM escalation ladder the collector climbed before giving
+/// up; carried by HeapExhausted so caught exhaustion is diagnosable without
+/// a debugger.
+enum class OomStage : uint8_t {
+  /// A retry after a minor collection still failed (and no major was
+  /// applicable — semispace collectors have a single generation).
+  RetryAfterMinor,
+  /// A retry after a full major collection still failed.
+  RetryAfterMajor,
+  /// Even the last-resort direct tenured allocation failed.
+  TenuredFallback,
+  /// A pre-flight check refused to start a copying major: its transient
+  /// to-space peak would overrun the hard limit (heap left untouched).
+  HardCapPreflight,
+};
+
+inline const char *oomStageName(OomStage S) {
+  switch (S) {
+  case OomStage::RetryAfterMinor:
+    return "retry-after-minor";
+  case OomStage::RetryAfterMajor:
+    return "retry-after-major";
+  case OomStage::TenuredFallback:
+    return "tenured-fallback";
+  case OomStage::HardCapPreflight:
+    return "hard-cap-preflight";
+  }
+  return "unknown";
+}
+
 class HeapExhausted : public std::exception {
 public:
-  HeapExhausted(uint64_t RequestedBytes, std::string HeapDump)
-      : Requested(RequestedBytes), Dump(std::move(HeapDump)) {
+  HeapExhausted(uint64_t RequestedBytes, OomStage StageReached,
+                std::string HeapDump)
+      : Requested(RequestedBytes), Stage(StageReached),
+        Dump(std::move(HeapDump)) {
     Message = "tilgc: heap exhausted: cannot satisfy a request for " +
               std::to_string(Requested) +
-              " bytes within the configured hard limit\n" + Dump;
+              " bytes within the configured hard limit (ladder stage: " +
+              oomStageName(Stage) + ")\n" + Dump;
   }
 
   const char *what() const noexcept override { return Message.c_str(); }
@@ -40,11 +73,15 @@ public:
   /// Bytes the failing request asked for.
   uint64_t requestedBytes() const { return Requested; }
 
+  /// The escalation-ladder stage at which the collector gave up.
+  OomStage stageReached() const { return Stage; }
+
   /// The heap-state dump captured when the ladder gave up.
   const std::string &heapDump() const { return Dump; }
 
 private:
   uint64_t Requested;
+  OomStage Stage;
   std::string Dump;
   std::string Message;
 };

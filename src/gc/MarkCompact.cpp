@@ -76,6 +76,19 @@ void MarkCompact::faultCheck(Worker &W) {
     throw MarkFault{};
 }
 
+// Engine-level abort point, controlling thread only (workers signal faults
+// via MarkFault and are recovered serially; MarkPlanFault abandons the whole
+// engine). Every call site is in a still-mutation-free phase — the caller's
+// failover contract depends on that.
+void MarkCompact::abortPoint() {
+  if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+      FaultInjector::global().shouldFire(FaultPoint::MarkPlanThrow))
+    throw MarkPlanFault{};
+  if (TILGC_UNLIKELY(C.AbortFlag != nullptr) &&
+      C.AbortFlag->load(std::memory_order_relaxed))
+    throw MarkPlanFault{};
+}
+
 void MarkCompact::markObject(Word *Payload, Worker &W) {
   const Word *H = Payload - HeaderWords;
   for (unsigned I = 0; I < 2; ++I) {
@@ -219,8 +232,14 @@ void MarkCompact::serialMark() {
       if (Word V = *Span.first[I])
         markObject(reinterpret_cast<Word *>(V), W);
   Word *P;
-  while (popLocal(W, P))
+  uint64_t Scanned = 0;
+  while (popLocal(W, P)) {
+    // Bounded watchdog-recovery latency without a per-object cost: one
+    // abort check per 1024 objects scanned.
+    if (TILGC_UNLIKELY((++Scanned & 1023) == 0))
+      abortPoint();
     scanObject(P, W);
+  }
   LOSLive = std::move(W.LOSLive);
 }
 
@@ -285,6 +304,7 @@ void MarkCompact::serialRecoverMark() {
 void MarkCompact::mark() {
   assert(Phase == Fresh);
   OptPhase Scope(C.Telemetry, GcPhase::Mark);
+  abortPoint(); // Crossing 1: abort before anything (even LOS bits) is set.
   for (unsigned I = 0; I < 2; ++I)
     if (C.Young[I])
       YoungBits[I].attach(*C.Young[I]);
@@ -331,6 +351,10 @@ void MarkCompact::mark() {
           C.Telemetry->noteWorkerFault(I);
     }
 
+    // A watchdog recover-request that landed while the pool ran is honored
+    // here, before the serial re-trace: the heap is still unmutated, and
+    // the failover re-traces from the roots anyway.
+    abortPoint();
     if (NumFaults.load(std::memory_order_relaxed)) {
       serialRecoverMark();
       Recovered = true;
@@ -350,6 +374,9 @@ void MarkCompact::mark() {
   // exactly once.
   std::sort(LOSLive.begin(), LOSLive.end());
   LOSLive.erase(std::unique(LOSLive.begin(), LOSLive.end()), LOSLive.end());
+  // Last mark-phase crossing: aborting here exercises the failover path
+  // where LOS mark bits are already set and must be cleared (not swept).
+  abortPoint();
   Phase = MarkDone;
 }
 
@@ -363,6 +390,7 @@ size_t MarkCompact::plannedTenuredBytes() {
   if (Phase >= PlanDone)
     return static_cast<size_t>(FinalFrontier - Base) * sizeof(Word);
   OptPhase Scope(C.Telemetry, GcPhase::Compact);
+  abortPoint(); // PLAN writes nothing; aborting it is always safe.
 
   C.Regions->clearPlan();
   Word *End = C.Tenured->frontier();

@@ -59,6 +59,15 @@ namespace tilgc {
 
 class GcTelemetry;
 
+/// Thrown out of mark() / plannedTenuredBytes() when the engine aborts a
+/// still-mutation-free phase: either FaultPoint::MarkPlanThrow fired, or
+/// the watchdog requested recovery through Config::AbortFlag. The caller
+/// (GenerationalCollector) catches this and fails over to a semispace
+/// major for that collection; nothing in the heap has been mutated, only
+/// private bitmaps and (possibly) LOS mark bits — which the failover
+/// clears via LargeObjectSpace::clearMarks before re-tracing.
+struct MarkPlanFault {};
+
 /// A side mark bitmap over one Space: one bit per heap word, set at the
 /// object's header word. testAndSet is atomic so parallel mark workers race
 /// benignly — exactly one claims each object.
@@ -129,6 +138,11 @@ public:
     WorkerPool *Pool = nullptr;
     /// Live fraction at or above which a region pins in place.
     double DenseFraction = RegionManager::DefaultDenseFraction;
+    /// Watchdog recover latch: when non-null and set, the engine's abort
+    /// points throw MarkPlanFault while the phase is still mutation-free.
+    /// Null (the default, and whenever no watchdog is configured) costs one
+    /// well-predicted branch per abort point — never per object scanned.
+    const std::atomic<bool> *AbortFlag = nullptr;
   };
 
   explicit MarkCompact(const Config &C);
@@ -167,6 +181,13 @@ public:
       P += objectTotalWords(Raw);
     }
   }
+
+  /// The hard pre-commit barrier: the last point where this collection can
+  /// still be abandoned. Re-checks the injector and the watchdog's abort
+  /// latch and throws MarkPlanFault if either wants out; once compact()
+  /// runs, forwarding installs and memmoves mutate the heap and the phase
+  /// cannot be abandoned, so abort requests arriving later are ignored.
+  void preCommitCheck() { abortPoint(); }
 
   /// Executes the plan: profiler/aging pass, young forwarding installs,
   /// pointer fixup, slides, pads, frontier rewind, young survivor copies,
@@ -247,6 +268,7 @@ private:
   void serialMark();
   void serialRecoverMark();
   void faultCheck(Worker &W);
+  void abortPoint();
 
   void applyAgingAndProfile();
   Word *fixupPointer(Word *P) const;

@@ -59,7 +59,8 @@ Word *SemispaceCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     // or was stopped by the hard cap and threw already): a catchable,
     // structured failure in every build mode.
     if (TILGC_UNLIKELY(!Payload))
-      throwHeapExhausted(objectTotalBytes(Descriptor));
+      throwHeapExhausted(objectTotalBytes(Descriptor),
+                         OomStage::RetryAfterMajor);
   }
   accountAllocation(Kind, Descriptor, SiteId);
   std::memset(Payload, 0, static_cast<size_t>(LenWords) * sizeof(Word));
@@ -105,7 +106,8 @@ void SemispaceCollector::collectInternal(size_t NeedBytes, GcTrigger Trigger) {
       Active->capacityBytes() +
               std::max(Inactive->capacityBytes(), WorstCase) >
           Opts.HardLimitBytes)
-    throwHeapExhausted(NeedBytes ? NeedBytes : WorstCase);
+    throwHeapExhausted(NeedBytes ? NeedBytes : WorstCase,
+                       OomStage::HardCapPreflight);
 
   ++Stats.NumGC;
   ++Stats.NumMajorGC;

@@ -30,11 +30,19 @@
 #include "heap/CrossingMap.h"
 #include "heap/Space.h"
 #include "object/Object.h"
+#include "support/FaultInjector.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace tilgc {
+
+/// Thrown when FaultPoint::CardSweepThrow fires mid-sweep. The collector
+/// recovers by discarding the partial card scan and degrading to a full
+/// tenured-space walk for that collection (duplicate field emissions are
+/// harmless: minor-root processing tolerates repeated slots, exactly as it
+/// does for SSB duplicates).
+struct CardSweepFault {};
 
 /// Dirty-card bitmap covering one bump-pointer space.
 class CardTable {
@@ -110,6 +118,9 @@ public:
       while (C < CardEnd && Dirty[C])
         ++C;
       size_t RunEnd = C;
+      if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+          FaultInjector::global().shouldFire(FaultPoint::CardSweepThrow))
+        throw CardSweepFault{};
       CardsScanned += RunEnd - RunBegin;
       Word *RunLo = SpaceBase + RunBegin * CrossingMap::CardWords;
       Word *RunHi = SpaceBase + RunEnd * CrossingMap::CardWords;

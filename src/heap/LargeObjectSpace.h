@@ -68,6 +68,16 @@ public:
     Objects.resize(Kept);
   }
 
+  /// Clears every mark bit without freeing anything. Used when a major
+  /// collection aborts mid-mark (engine failover): the partial mark must
+  /// not be consumed by a sweep — unmarked-but-live objects would be
+  /// freed — so the failover evacuation starts from clean bits and
+  /// re-marks via its own LOS trace.
+  void clearMarks() {
+    for (Entry &E : Objects)
+      E.Marked = false;
+  }
+
   /// Walks all live large objects: \p Fn(Payload, Descriptor).
   template <typename FnT> void walk(FnT Fn) const {
     for (const Entry &E : Objects)

@@ -7,8 +7,11 @@
 #include "heap/Space.h"
 
 #include "support/Fatal.h"
+#include "support/FaultInjector.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 using namespace tilgc;
 
@@ -17,10 +20,25 @@ void Space::reserve(size_t Bytes) {
   size_t Words = (Bytes + sizeof(Word) - 1) / sizeof(Word);
   if (Words == 0)
     Words = HeaderWords;
-  Base = static_cast<Word *>(std::malloc(Words * sizeof(Word)));
-  if (TILGC_UNLIKELY(!Base))
-    fatalError("space reservation of %zu bytes failed: host out of memory",
-               Words * sizeof(Word));
+  // Host allocation failure gets a bounded retry with exponential backoff
+  // before the structured fatal: a transient spike (another process, a
+  // concurrent GC in a sibling heap) may clear within milliseconds, and a
+  // heap-growth request is already a slow path. HostGrowFail injects the
+  // failure deterministically so the retry ladder is torture-testable.
+  static constexpr unsigned MaxAttempts = 4;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    bool Injected = TILGC_UNLIKELY(FaultInjector::enabled()) &&
+                    FaultInjector::global().shouldFire(FaultPoint::HostGrowFail);
+    Base = Injected ? nullptr
+                    : static_cast<Word *>(std::malloc(Words * sizeof(Word)));
+    if (TILGC_LIKELY(Base != nullptr))
+      break;
+    if (Attempt + 1 >= MaxAttempts)
+      fatalError("space reservation of %zu bytes failed: host out of memory "
+                 "(%u attempts with backoff)",
+                 Words * sizeof(Word), MaxAttempts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1u << Attempt));
+  }
   assert((reinterpret_cast<uintptr_t>(Base) & 7) == 0 &&
          "space must be word-aligned");
   Next = Base;

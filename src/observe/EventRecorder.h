@@ -20,6 +20,7 @@
 #include "observe/GcObserver.h"
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace tilgc {
@@ -54,6 +55,14 @@ public:
     Faults.push_back({Seq, WorkerIndex});
   }
 
+  void onWatchdogBark(const WatchdogBark &B) override {
+    // Delivered on the watchdog supervisor thread while the collector (or
+    // a stopping mutator) is stalled elsewhere — the one callback that
+    // needs its own lock against readers.
+    std::lock_guard<std::mutex> L(BarkM);
+    Barks.push_back(B);
+  }
+
   size_t capacity() const { return Cap; }
   size_t size() const { return Ring.size(); }
   /// Events overwritten after the ring filled.
@@ -65,12 +74,21 @@ public:
   const std::vector<PretenureAudit> &audits() const { return Audits; }
   const std::vector<WorkerFault> &faults() const { return Faults; }
 
+  /// Snapshot of the recorded barks (copied under the bark lock; callers
+  /// read after the stall resolved, so the copy is cheap and safe).
+  std::vector<WatchdogBark> barks() const {
+    std::lock_guard<std::mutex> L(BarkM);
+    return Barks;
+  }
+
   void clear() {
     Ring.clear();
     Head = 0;
     Dropped = 0;
     Audits.clear();
     Faults.clear();
+    std::lock_guard<std::mutex> L(BarkM);
+    Barks.clear();
   }
 
 private:
@@ -80,6 +98,8 @@ private:
   std::vector<GcEvent> Ring;
   std::vector<PretenureAudit> Audits;
   std::vector<WorkerFault> Faults;
+  mutable std::mutex BarkM;
+  std::vector<WatchdogBark> Barks;
 };
 
 } // namespace tilgc

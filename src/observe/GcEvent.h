@@ -141,6 +141,11 @@ struct GcEvent {
   uint32_t Workers = 1; ///< Evacuation threads configured.
   uint32_t WorkerFaults = 0;
   bool SerialRecovery = false; ///< Evacuation finished by the serial drain.
+  /// A mark-/plan-phase fault aborted the mark-compact engine and a
+  /// semispace evacuation finished this major. Deterministic under seeded
+  /// fault injection (the abort fires at a fixed crossing), so event-diff
+  /// consumers may pin it.
+  bool EngineFailover = false;
 
   // --- Timing (wall-clock; varies run to run) ---------------------------
   uint64_t BeginNs = 0; ///< Process-epoch-relative.

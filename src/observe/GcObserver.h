@@ -23,6 +23,11 @@
 ///  - onWorkerFault: after a parallel-evacuation worker faulted and the
 ///    pass completed via serial recovery — reported from the controlling
 ///    thread once the pool has joined, one call per faulted worker.
+///  - onWatchdogBark: THE exception to the threading rule above — it runs
+///    on the watchdog's supervisor thread while the stalled window owner
+///    is still inside the window. Implementations must be safe against
+///    concurrent collection work: touch only your own synchronized state
+///    (EventRecorder takes a mutex) and return quickly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +35,7 @@
 #define TILGC_OBSERVE_GCOBSERVER_H
 
 #include "observe/GcEvent.h"
+#include "support/Watchdog.h"
 
 #include <cstdint>
 
@@ -61,6 +67,10 @@ public:
     (void)Seq;
     (void)WorkerIndex;
   }
+  /// A supervised window (GC cycle or safepoint rendezvous) outlived its
+  /// deadline. Runs on the SUPERVISOR thread (see file comment); the
+  /// reference is only valid for the duration of the call.
+  virtual void onWatchdogBark(const WatchdogBark &B) { (void)B; }
 };
 
 } // namespace tilgc

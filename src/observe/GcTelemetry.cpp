@@ -159,6 +159,14 @@ void GcTelemetry::noteWorkerFault(uint32_t WorkerIndex) {
       O->onWorkerFault(Current.Seq, WorkerIndex);
 }
 
+void GcTelemetry::noteWatchdogBark(const WatchdogBark &B) {
+  // Supervisor-thread dispatch: reading Current or the phase stamps here
+  // would race the collecting thread, so only the bark itself travels.
+  if (TILGC_UNLIKELY(armed()))
+    for (GcObserver *O : Observers)
+      O->onWatchdogBark(B);
+}
+
 void GcTelemetry::noteSafepointWait(uint64_t WaitBeginNs, uint64_t WaitEndNs,
                                     std::vector<GcWorkerSpan> ParkSpans) {
   SafepointWaits.record(WaitEndNs >= WaitBeginNs ? WaitEndNs - WaitBeginNs

@@ -33,6 +33,7 @@
 
 #include "observe/GcEvent.h"
 #include "observe/GcObserver.h"
+#include "support/Watchdog.h"
 #include "observe/PauseHistogram.h"
 #include "support/Compiler.h"
 
@@ -84,10 +85,14 @@ public:
   // --- Phase accounting -------------------------------------------------
 
   void enterPhase(GcPhase P) {
+    if (TILGC_UNLIKELY(LivePhasePub))
+      LivePhase.store(static_cast<uint8_t>(P), std::memory_order_relaxed);
     if (TILGC_UNLIKELY(armed()) && InCollection)
       enterPhaseSlow(P);
   }
   void exitPhase(GcPhase P) {
+    if (TILGC_UNLIKELY(LivePhasePub))
+      LivePhase.store(255, std::memory_order_relaxed);
     if (TILGC_UNLIKELY(armed()) && InCollection)
       exitPhaseSlow(P);
   }
@@ -132,6 +137,23 @@ public:
   /// stopped-world operation was a plain allocation, not a GC).
   void clearPendingSafepoint();
 
+  /// Publish the in-flight GcPhase through a relaxed atomic the watchdog
+  /// supervisor may read mid-collection. Enabled once, before any
+  /// collection, when a GC deadline is configured; costs one predicted
+  /// branch per phase transition when off.
+  void enableLivePhase() { LivePhasePub = true; }
+  /// Raw ordinal of the executing phase (255 = none). Safe from any
+  /// thread; approximate by design — sibling scopes overwrite each other.
+  uint8_t livePhaseOrdinal() const {
+    return LivePhase.load(std::memory_order_relaxed);
+  }
+
+  /// Fan a watchdog bark out to every observer. Runs on the SUPERVISOR
+  /// thread — the one documented exception to the collecting-thread
+  /// dispatch rule (see GcObserver.h). Observers is append-only and fully
+  /// built before mutators start, so unsynchronized iteration is safe.
+  void noteWatchdogBark(const WatchdogBark &B);
+
   // --- Always-on aggregates --------------------------------------------
 
   const PauseHistogram &histogram(GcGeneration G) const {
@@ -152,6 +174,10 @@ private:
 
   std::atomic<bool> Armed{false};
   std::vector<GcObserver *> Observers;
+
+  /// Live-phase publication for watchdog barks (see enableLivePhase).
+  bool LivePhasePub = false;
+  std::atomic<uint8_t> LivePhase{255};
 
   bool InCollection = false;
   GcEvent Current;

@@ -115,6 +115,8 @@ std::string TraceExporter::render(const EventRecorder &R) {
     appendU64(Out, E.WorkerFaults);
     Out += ",\"serial_recovery\":";
     Out += E.SerialRecovery ? "true" : "false";
+    Out += ",\"engine_failover\":";
+    Out += E.EngineFailover ? "true" : "false";
     Out += "}}";
 
     // Phase breakdown, nested inside the collection on the same track.
@@ -196,6 +198,33 @@ std::string TraceExporter::render(const EventRecorder &R) {
     appendCommon(Out, "worker fault", "i", 0, F.WorkerIndex + 1);
     Out += ",\"s\":\"t\",\"args\":{\"gc\":";
     appendU64(Out, F.Seq);
+    Out += "}}";
+  }
+
+  // Watchdog barks as global instants at the stall's detection time — the
+  // structured diagnostic a stalled run leaves behind even when it never
+  // reaches a clean exit.
+  for (const WatchdogBark &B : R.barks()) {
+    Out += ",\n";
+    appendCommon(Out, "watchdog bark", "i", B.WhenNs, 0);
+    Out += ",\"s\":\"g\",\"args\":{\"kind\":\"";
+    Out += watchdogBarkKindName(B.What);
+    Out += "\",\"seq\":";
+    appendU64(Out, B.Seq);
+    Out += ",\"deadline_us\":";
+    appendU64(Out, B.DeadlineMicros);
+    Out += ",\"elapsed_us\":";
+    appendU64(Out, B.ElapsedMicros);
+    Out += ",\"policy\":\"";
+    Out += watchdogPolicyName(B.Policy);
+    Out += "\",\"phase\":\"";
+    Out += B.PhaseOrdinal < NumGcPhases
+               ? gcPhaseName(static_cast<GcPhase>(B.PhaseOrdinal))
+               : "none";
+    Out += "\",\"mutators_parked\":";
+    appendU64(Out, B.MutatorsParked);
+    Out += ",\"mutators_expected\":";
+    appendU64(Out, B.MutatorsExpected);
     Out += "}}";
   }
 

@@ -10,6 +10,7 @@
 #include "observe/TraceExporter.h"
 #include "runtime/MutatorGroup.h"
 #include "support/Fatal.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -72,6 +73,10 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;
     Opts.VerifyHeapAfterGC = Config.VerifyHeapAfterGC;
     Opts.GcThreads = Config.GcThreads;
+    Opts.GcDeadlineMicros = Config.GcDeadlineMicros;
+    Opts.SafepointDeadlineMicros = Config.SafepointDeadlineMicros;
+    Opts.WatchdogEscalation = Config.WatchdogEscalation;
+    Opts.FailoverStickyLimit = Config.FailoverStickyLimit;
     OwnedGC = std::make_unique<GenerationalCollector>(Env, Opts);
     break;
   }
@@ -148,6 +153,12 @@ Word *Mutator::allocMulti(ObjectKind Kind, Word Descriptor, uint32_t LenWords,
 
 Word *Mutator::refillTlab(size_t NeedWords) {
   retireTlab();
+  // Injected refill refusal: the thread behaves exactly as if the nursery
+  // had no block to grant and falls to the stop-the-world slow path — the
+  // graceful-degradation contract this fault point exists to prove.
+  if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
+      FaultInjector::global().shouldFire(FaultPoint::TlabRefillFail))
+    return nullptr;
   size_t MaxBytes = 0;
   Space *S = GC->inlineAllocSpace(MaxBytes);
   if (TILGC_UNLIKELY(!S))

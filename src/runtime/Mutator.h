@@ -112,6 +112,18 @@ struct MutatorConfig {
   /// Evacuation threads: 1 = the serial engine (bit-identical paper
   /// reproduction); >1 = the work-stealing ParallelEvacuator.
   unsigned GcThreads = 1;
+  /// GC-cycle watchdog deadline in microseconds; 0 = disarmed (free on
+  /// every path). Generational only. See GenerationalCollector::Options.
+  uint64_t GcDeadlineMicros = 0;
+  /// Safepoint-rendezvous watchdog deadline in microseconds; 0 = disarmed.
+  /// Consumed by MutatorGroup's coordinator (multi-mutator runtime only).
+  uint64_t SafepointDeadlineMicros = 0;
+  /// Bark escalation: Report (diagnose), Recover (+ cooperative abort →
+  /// major-engine failover), Fatal (terminate with the diagnostic).
+  WatchdogPolicy WatchdogEscalation = WatchdogPolicy::Recover;
+  /// Consecutive major-engine failovers before MarkCompact is
+  /// sticky-disabled in favor of the semispace fallback.
+  unsigned FailoverStickyLimit = 3;
   /// Telemetry observer to register with the collector (non-owning; must
   /// outlive the mutator). Registering any observer arms per-collection
   /// event assembly and phase stamps (see observe/GcTelemetry.h).

@@ -33,6 +33,17 @@ MutatorGroup::MutatorGroup(const MutatorConfig &Config, unsigned NumMutators)
   bool RecordBarrier = Config.Kind == CollectorKind::Generational;
   for (unsigned I = 0; I < NumMutators; ++I)
     Muts[I]->attachToGroup(*this, I, Config.EnableProfiling, RecordBarrier);
+
+  if (Config.SafepointDeadlineMicros) {
+    // Barks fan out through the shared collector's telemetry plane so one
+    // observer registration sees GC events, GC barks, and rendezvous barks
+    // alike. Dispatch runs on the supervisor thread; noteWatchdogBark is
+    // safe there (see GcObserver.h).
+    GcTelemetry *T = &C.telemetry();
+    SP.configureWatchdog(&SafepointWD, Config.SafepointDeadlineMicros,
+                         Config.WatchdogEscalation,
+                         [T](const WatchdogBark &B) { T->noteWatchdogBark(B); });
+  }
 }
 
 MutatorGroup::~MutatorGroup() = default;

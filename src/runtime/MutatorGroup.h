@@ -40,6 +40,7 @@
 
 #include "runtime/Mutator.h"
 #include "runtime/Safepoint.h"
+#include "support/Watchdog.h"
 
 #include <functional>
 #include <memory>
@@ -63,6 +64,9 @@ public:
   /// The shared profiler (primary mutator's; null unless profiling).
   HeapProfiler *profiler() { return Muts[0]->profiler(); }
   SafepointCoordinator &safepoint() { return SP; }
+  /// The rendezvous supervisor (idle unless Config.SafepointDeadlineMicros
+  /// was set); tests read barks() from it.
+  Watchdog &safepointWatchdog() { return SafepointWD; }
 
   /// Runs \p Body(mutator(I), I) on one std::thread per mutator and joins
   /// them all. On return the world is quiescent and all per-thread state
@@ -100,6 +104,10 @@ private:
 
   std::vector<std::unique_ptr<Mutator>> Muts;
   SafepointCoordinator SP;
+  /// Supervises stop-the-world rendezvous; separate from the collector's
+  /// GC-cycle watchdog because the two windows have different owners (a
+  /// stopping mutator vs the collecting thread) and different deadlines.
+  Watchdog SafepointWD;
 };
 
 } // namespace tilgc

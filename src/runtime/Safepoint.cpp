@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 using namespace tilgc;
@@ -34,9 +35,20 @@ void SafepointCoordinator::deactivate(unsigned Idx) {
 }
 
 void SafepointCoordinator::yield(unsigned Idx) {
-  if (TILGC_UNLIKELY(FaultInjector::enabled()) &&
-      FaultInjector::global().shouldFire(FaultPoint::SafepointStall))
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (TILGC_UNLIKELY(FaultInjector::enabled())) {
+    FaultInjector &FI = FaultInjector::global();
+    if (FI.shouldFire(FaultPoint::SafepointStall))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (FI.shouldFire(FaultPoint::SafepointNoShow)) {
+      // The watchdog's canonical prey: skip this poll entirely — the
+      // rendezvous cannot complete until this thread reaches a LATER poll
+      // (or deactivates), stretching the stop past any tight deadline.
+      // Bounded (a sleep, then a normal return to the allocation loop) so
+      // the rendezvous still completes and torture runs terminate.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return;
+    }
+  }
   std::unique_lock<std::mutex> L(M);
   while (StopInProgress) {
     ++NumSafe;
@@ -65,7 +77,17 @@ void SafepointCoordinator::beginStopLocked(std::unique_lock<std::mutex> &L,
   StopInProgress = true;
   Requested.store(true, std::memory_order_relaxed);
   LastWaitBeginNs = GcTelemetry::nowNs();
+  // Supervise the wait below: every other active thread must park before
+  // the deadline or the watchdog barks with the per-mutator park state.
+  // The rendezvous itself is NOT abandoned — there is no safe way to
+  // un-request a stop half the threads already honored — so even a
+  // Recover-policy bark only reports (and latches the recover flag for
+  // the GC plane); the wait then continues until the stragglers arrive.
+  armRendezvousWatchdog();
   OwnerCv.wait(L, [this] { return NumSafe + 1 >= NumActive; });
+  if (TILGC_UNLIKELY(WD != nullptr) && WdDeadlineUs)
+    // Called with M held: safe, the bark fill only try_locks M.
+    WD->disarm();
   LastWaitEndNs = GcTelemetry::nowNs();
   ++NumStops;
   LastParkSpans.clear();
@@ -73,6 +95,45 @@ void SafepointCoordinator::beginStopLocked(std::unique_lock<std::mutex> &L,
     if (ParkBeginNs[T] != 0)
       LastParkSpans.push_back(
           GcWorkerSpan{T, ParkBeginNs[T], LastWaitEndNs, 0, 0, false});
+}
+
+void SafepointCoordinator::armRendezvousWatchdog() {
+  if (TILGC_LIKELY(WD == nullptr) || WdDeadlineUs == 0)
+    return;
+  WatchdogBark Proto;
+  Proto.What = WatchdogBark::Kind::SafepointRendezvous;
+  Proto.Seq = NumStops + 1;
+  Proto.DeadlineMicros = WdDeadlineUs;
+  Proto.Policy = WdPolicy;
+  Proto.MutatorsExpected = NumActive ? NumActive - 1 : 0;
+  WD->arm(
+      std::move(Proto), WdDeadlineUs,
+      [this](WatchdogBark &B) { fillRendezvousBark(B); }, WdDispatch);
+}
+
+void SafepointCoordinator::fillRendezvousBark(WatchdogBark &B) {
+  B.WhenNs = GcTelemetry::nowNs();
+  // Supervisor thread. The stop owner sits inside OwnerCv.wait with M
+  // released, so the try_lock normally succeeds; if it races the owner's
+  // wakeup instead, the arm-time fields still describe the stall.
+  std::unique_lock<std::mutex> L(M, std::try_to_lock);
+  if (!L.owns_lock()) {
+    B.Detail += "park state unavailable (coordinator mutex contended)\n";
+    return;
+  }
+  B.MutatorsParked = NumSafe;
+  B.MutatorsExpected = NumActive ? NumActive - 1 : 0;
+  B.Detail += "per-mutator park state (one unparked thread is the stop "
+              "owner):\n";
+  for (unsigned T = 0; T < ParkBeginNs.size(); ++T) {
+    char Buf[96];
+    if (ParkBeginNs[T])
+      std::snprintf(Buf, sizeof(Buf), "  mutator %u: parked for %llu us\n", T,
+                    (unsigned long long)((B.WhenNs - ParkBeginNs[T]) / 1000));
+    else
+      std::snprintf(Buf, sizeof(Buf), "  mutator %u: NOT PARKED\n", T);
+    B.Detail += Buf;
+  }
 }
 
 void SafepointCoordinator::resumeLocked() {

@@ -39,6 +39,7 @@
 
 #include "observe/GcEvent.h"
 #include "support/Compiler.h"
+#include "support/Watchdog.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -59,6 +60,19 @@ public:
   /// The allocation-path poll: one relaxed load.
   bool stopRequested() const {
     return Requested.load(std::memory_order_relaxed);
+  }
+
+  /// Supervises every later rendezvous with \p W: beginStopLocked arms it
+  /// before waiting for parks and disarms it once every thread arrived. A
+  /// bark carries per-mutator park state (read under try_lock) and is
+  /// delivered through \p Dispatch on the supervisor thread. Deadline 0
+  /// keeps every rendezvous unsupervised. Call before any thread runs.
+  void configureWatchdog(Watchdog *W, uint64_t DeadlineMicros,
+                         WatchdogPolicy Policy, Watchdog::DispatchFn Dispatch) {
+    WD = W;
+    WdDeadlineUs = DeadlineMicros;
+    WdPolicy = Policy;
+    WdDispatch = std::move(Dispatch);
   }
 
   /// Declares \p NumThreads threads about to start running (called before
@@ -107,6 +121,8 @@ public:
 private:
   void beginStopLocked(std::unique_lock<std::mutex> &L, unsigned Idx);
   void resumeLocked();
+  void armRendezvousWatchdog();
+  void fillRendezvousBark(WatchdogBark &B);
 
   std::mutex M;
   std::condition_variable OwnerCv;  ///< Signaled when parks/exits change.
@@ -124,6 +140,12 @@ private:
   uint64_t LastWaitEndNs = 0;
   std::vector<GcWorkerSpan> LastParkSpans;
   uint64_t NumStops = 0;
+
+  // Rendezvous watchdog (null/0 = unsupervised; see configureWatchdog).
+  Watchdog *WD = nullptr;
+  uint64_t WdDeadlineUs = 0;
+  WatchdogPolicy WdPolicy = WatchdogPolicy::Report;
+  Watchdog::DispatchFn WdDispatch;
 };
 
 } // namespace tilgc

@@ -75,6 +75,8 @@ bool FaultInjector::shouldFire(FaultPoint P) {
 }
 
 const char *FaultInjector::pointName(FaultPoint P) {
+  // Exhaustive by construction: no default, so -Wswitch flags any enum
+  // entry missing a name, and the trailing return is unreachable.
   switch (P) {
   case FaultPoint::SpaceAllocNull:
     return "space-alloc-null";
@@ -88,6 +90,16 @@ const char *FaultInjector::pointName(FaultPoint P) {
     return "from-space-poison";
   case FaultPoint::SafepointStall:
     return "safepoint-stall";
+  case FaultPoint::MarkPlanThrow:
+    return "mark-plan-throw";
+  case FaultPoint::CardSweepThrow:
+    return "card-sweep-throw";
+  case FaultPoint::TlabRefillFail:
+    return "tlab-refill-fail";
+  case FaultPoint::SafepointNoShow:
+    return "safepoint-no-show";
+  case FaultPoint::HostGrowFail:
+    return "host-grow-fail";
   }
   return "unknown";
 }

@@ -55,11 +55,39 @@ enum class FaultPoint : unsigned {
   /// stretching the rendezvous window while the other threads sit stopped
   /// (multi-mutator torture).
   SafepointStall,
+  /// The MarkCompact controlling thread throws out of the MARK or PLAN
+  /// phase (both still mutation-free); the generational collector must
+  /// fail over to a semispace major for that collection.
+  MarkPlanThrow,
+  /// The dirty-card sweep throws mid-run; the collector must recover by
+  /// degrading to a full tenured-space walk (the pre-crossing-map
+  /// behavior) for that minor collection.
+  CardSweepThrow,
+  /// Mutator::refillTlab pretends the nursery refused the block handout,
+  /// forcing the mutator onto the stop-the-world slow allocation path.
+  TlabRefillFail,
+  /// A mutator skips its safepoint poll entirely and keeps running for a
+  /// bounded interval — the watchdog's canonical prey: the rendezvous
+  /// stretches far past any reasonable deadline but must still complete.
+  SafepointNoShow,
+  /// Space::reserve sees the host allocator fail; the space must retry
+  /// with bounded backoff before escalating to the structured fatal.
+  HostGrowFail,
 };
+
+/// Anchors the per-point array size to the enum: extending FaultPoint
+/// without updating this alias fails the static_asserts below and the
+/// -Wswitch check in pointName, so the name table and counters can never
+/// silently desync.
+inline constexpr FaultPoint LastFaultPoint = FaultPoint::HostGrowFail;
 
 class FaultInjector {
 public:
-  static constexpr unsigned NumPoints = 6;
+  static constexpr unsigned NumPoints =
+      static_cast<unsigned>(LastFaultPoint) + 1;
+  static_assert(NumPoints == 11,
+                "FaultPoint changed: update LastFaultPoint, pointName, and "
+                "the torture matrices that enumerate points");
   /// FireCount value meaning "once triggered, fire on every crossing".
   static constexpr uint64_t Forever = ~static_cast<uint64_t>(0);
 

@@ -1,0 +1,147 @@
+//===- support/Watchdog.cpp - GC/safepoint deadline supervisor ------------===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Watchdog.h"
+
+#include "support/Fatal.h"
+#include "support/FaultInjector.h"
+
+using namespace tilgc;
+
+const char *tilgc::watchdogPolicyName(WatchdogPolicy P) {
+  switch (P) {
+  case WatchdogPolicy::Report:
+    return "report";
+  case WatchdogPolicy::Recover:
+    return "recover";
+  case WatchdogPolicy::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+const char *tilgc::watchdogBarkKindName(WatchdogBark::Kind K) {
+  switch (K) {
+  case WatchdogBark::Kind::GcCycle:
+    return "gc-cycle";
+  case WatchdogBark::Kind::SafepointRendezvous:
+    return "safepoint-rendezvous";
+  }
+  return "unknown";
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Exiting = true;
+    Cv.notify_all();
+  }
+  if (ThreadStarted)
+    Thread.join();
+}
+
+void Watchdog::ensureThreadLocked() {
+  if (ThreadStarted)
+    return;
+  Thread = std::thread([this] { threadMain(); });
+  ThreadStarted = true;
+}
+
+void Watchdog::arm(WatchdogBark Proto_, uint64_t DeadlineMicros, FillFn Fill_,
+                   DispatchFn Dispatch_) {
+  if (DeadlineMicros == 0)
+    return;
+  std::lock_guard<std::mutex> L(M);
+  ensureThreadLocked();
+  ++Gen;
+  ArmedNow = true;
+  Barked = false;
+  Proto = std::move(Proto_);
+  Proto.DeadlineMicros = DeadlineMicros;
+  DeadlineUs = DeadlineMicros;
+  Fill = std::move(Fill_);
+  Dispatch = std::move(Dispatch_);
+  ArmTime = std::chrono::steady_clock::now();
+  Cv.notify_all();
+}
+
+void Watchdog::disarm() {
+  std::unique_lock<std::mutex> L(M);
+  if (!ArmedNow && !DispatchInFlight)
+    return;
+  ArmedNow = false;
+  ++Gen;
+  Cv.notify_all();
+  // Callback captures (collector, coordinator state) may die right after
+  // we return; wait out any bark that is mid-dispatch.
+  IdleCv.wait(L, [this] { return !DispatchInFlight; });
+  Fill = nullptr;
+  Dispatch = nullptr;
+}
+
+void Watchdog::threadMain() {
+  std::unique_lock<std::mutex> L(M);
+  while (!Exiting) {
+    if (!ArmedNow || Barked) {
+      Cv.wait(L, [this] { return Exiting || (ArmedNow && !Barked); });
+      continue;
+    }
+    uint64_t MyGen = Gen;
+    auto Expiry = ArmTime + std::chrono::microseconds(DeadlineUs);
+    Cv.wait_until(L, Expiry,
+                  [this, MyGen] { return Exiting || Gen != MyGen; });
+    if (Exiting || Gen != MyGen)
+      continue; // Window closed (or re-armed) before the deadline.
+    if (std::chrono::steady_clock::now() < Expiry)
+      continue; // Spurious wake; loop re-waits on the same window.
+
+    // Deadline expired with the window still open: bark once.
+    Barked = true;
+    DispatchInFlight = true;
+    WatchdogBark B = Proto;
+    B.ElapsedMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - ArmTime)
+            .count());
+    FillFn MyFill = Fill;
+    DispatchFn MyDispatch = Dispatch;
+    L.unlock();
+
+    if (B.Policy != WatchdogPolicy::Report)
+      Recover.store(true, std::memory_order_relaxed);
+    if (FaultInjector::enabled()) {
+      B.Detail += "\nfault-injection progress (crossings/fired):";
+      FaultInjector &FI = FaultInjector::global();
+      for (unsigned I = 0; I < FaultInjector::NumPoints; ++I) {
+        FaultPoint P = static_cast<FaultPoint>(I);
+        uint64_t C = FI.crossings(P);
+        if (C == 0)
+          continue;
+        B.Detail += "\n  ";
+        B.Detail += FaultInjector::pointName(P);
+        B.Detail += ": " + std::to_string(C) + "/" +
+                    std::to_string(FI.fired(P));
+      }
+    }
+    if (MyFill)
+      MyFill(B);
+    if (MyDispatch)
+      MyDispatch(B);
+    NumBarks.fetch_add(1, std::memory_order_relaxed);
+    if (B.Policy == WatchdogPolicy::Fatal)
+      fatalError("watchdog deadline expired: %s seq=%llu after %llu us "
+                 "(deadline %llu us)\n%s",
+                 watchdogBarkKindName(B.What),
+                 static_cast<unsigned long long>(B.Seq),
+                 static_cast<unsigned long long>(B.ElapsedMicros),
+                 static_cast<unsigned long long>(B.DeadlineMicros),
+                 B.Detail.c_str());
+
+    L.lock();
+    DispatchInFlight = false;
+    IdleCv.notify_all();
+  }
+}

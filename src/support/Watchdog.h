@@ -1,0 +1,168 @@
+//===- support/Watchdog.h - GC/safepoint deadline supervisor ----*- C++ -*-===//
+//
+// Part of the tilgc project (PLDI'98 GC reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deadline supervisor for the two windows where the runtime can hang
+/// without making progress: a GC cycle and a safepoint rendezvous. The
+/// owner arms the watchdog when a window opens and disarms it when the
+/// window closes; if the deadline expires first, the supervisor thread
+/// "barks": it assembles a structured stall diagnostic (a WatchdogBark)
+/// from data that is safe to read cross-thread, hands it to a dispatch
+/// callback (which fans out to GcObserver::onWatchdogBark and the trace
+/// export), and escalates per the configured policy.
+///
+/// Cost discipline (mirrors support/FaultInjector.h):
+///  - Deadline 0 means the watchdog is never constructed-with-a-thread and
+///    arm()/disarm() are never called: zero cost on every path.
+///  - When configured, the cost is one mutex lock + condvar notify per
+///    armed window (per GC cycle / per rendezvous) — nothing per
+///    allocation, nothing per object.
+///
+/// Threading contract: arm() and disarm() are called by the window's owner
+/// (the collecting thread or the stopping mutator). The fill and dispatch
+/// callbacks run ON THE SUPERVISOR THREAD while the owner is still stalled
+/// inside the window, so they may only read std::atomic state, state
+/// captured into the Bark prototype at arm time, or state they can
+/// try_lock. disarm() blocks until any in-flight bark dispatch finishes,
+/// so callback captures outlive the bark.
+///
+/// Escalation ladder (WatchdogPolicy): Report always happens (the bark is
+/// dispatched); Recover additionally latches recoverRequested(), which
+/// cooperative code — the MarkCompact abort points — polls to abandon a
+/// still-mutation-free phase; Fatal terminates with the diagnostic after
+/// dispatch. Recovery is cooperative: a thread that never reaches an abort
+/// point (or a mutator that never polls) cannot be recovered, only
+/// reported or killed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TILGC_SUPPORT_WATCHDOG_H
+#define TILGC_SUPPORT_WATCHDOG_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tilgc {
+
+/// What the supervisor does after dispatching a bark.
+enum class WatchdogPolicy : uint8_t {
+  Report,  ///< Diagnostic only.
+  Recover, ///< Diagnostic + latch recoverRequested() for cooperative abort.
+  Fatal,   ///< Diagnostic, then fatalError with the stall summary.
+};
+
+const char *watchdogPolicyName(WatchdogPolicy P);
+
+/// The structured stall diagnostic delivered to GcObserver::onWatchdogBark.
+/// Static fields are captured at arm time on the window owner's thread;
+/// live fields (Phase, park counts, Detail additions) are filled on the
+/// supervisor thread at expiry from atomics or try-locked state.
+struct WatchdogBark {
+  enum class Kind : uint8_t { GcCycle, SafepointRendezvous };
+
+  Kind What = Kind::GcCycle;
+  /// GC sequence number (GcCycle) or stop-the-world ordinal (rendezvous).
+  uint64_t Seq = 0;
+  uint64_t DeadlineMicros = 0;
+  uint64_t ElapsedMicros = 0;
+  /// GcTelemetry::nowNs() at the bark (for the trace-export instant).
+  uint64_t WhenNs = 0;
+  /// Live GcPhase as a raw ordinal (GcEvent.h's GcPhase); 255 = none
+  /// published. Raw so support/ need not include observe/.
+  uint8_t PhaseOrdinal = 255;
+  /// Rendezvous progress (SafepointRendezvous barks): threads parked vs
+  /// threads the stop is waiting for.
+  uint32_t MutatorsParked = 0;
+  uint32_t MutatorsExpected = 0;
+  WatchdogPolicy Policy = WatchdogPolicy::Report;
+  /// Human-readable stall summary: the heap-state dump captured when the
+  /// window opened, per-mutator park state, and fault-injection progress
+  /// counters (the per-point crossing counts double as drain-progress
+  /// markers under torture).
+  std::string Detail;
+};
+
+const char *watchdogBarkKindName(WatchdogBark::Kind K);
+
+/// One supervisor thread watching one window at a time. GC cycles and
+/// safepoint rendezvous never overlap within an owner (the rendezvous
+/// completes before the stopped-world collection begins), so the GC plane
+/// and the safepoint plane each own a single-slot instance.
+class Watchdog {
+public:
+  /// Fills live fields of the bark; runs on the supervisor thread.
+  using FillFn = std::function<void(WatchdogBark &)>;
+  /// Delivers the completed bark (observer fan-out, trace export); runs on
+  /// the supervisor thread.
+  using DispatchFn = std::function<void(const WatchdogBark &)>;
+
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Opens a supervised window: if disarm() does not arrive within
+  /// \p DeadlineMicros, the supervisor fills and dispatches \p Proto, then
+  /// escalates per Proto.Policy. The supervisor thread is started lazily
+  /// on the first arm. At most one bark fires per armed window.
+  void arm(WatchdogBark Proto, uint64_t DeadlineMicros, FillFn Fill,
+           DispatchFn Dispatch);
+
+  /// Closes the window. Blocks until any in-flight bark dispatch returns,
+  /// so resources captured by the callbacks stay valid for their lifetime.
+  void disarm();
+
+  /// Total barks dispatched (tests / diagnostics). Relaxed.
+  uint64_t barks() const { return NumBarks.load(std::memory_order_relaxed); }
+
+  /// True after a bark under WatchdogPolicy::Recover (or stricter) until
+  /// cleared. Cooperative abort points poll this through recoverFlag().
+  bool recoverRequested() const {
+    return Recover.load(std::memory_order_relaxed);
+  }
+  void clearRecoverRequest() {
+    Recover.store(false, std::memory_order_relaxed);
+  }
+  /// Stable address of the recover latch, for handing to MarkCompact's
+  /// abort points without a Watchdog dependency.
+  const std::atomic<bool> *recoverFlag() const { return &Recover; }
+
+private:
+  void threadMain();
+  void ensureThreadLocked();
+
+  std::mutex M;
+  std::condition_variable Cv;
+  std::condition_variable IdleCv;
+  bool Exiting = false;
+  bool ThreadStarted = false;
+  std::thread Thread;
+
+  // Armed-window state, all guarded by M. Gen distinguishes windows so a
+  // bark racing a disarm/re-arm can tell its window already closed.
+  uint64_t Gen = 0;
+  bool ArmedNow = false;
+  bool Barked = false;
+  bool DispatchInFlight = false;
+  WatchdogBark Proto;
+  uint64_t DeadlineUs = 0;
+  FillFn Fill;
+  DispatchFn Dispatch;
+  std::chrono::steady_clock::time_point ArmTime;
+
+  std::atomic<uint64_t> NumBarks{0};
+  std::atomic<bool> Recover{false};
+};
+
+} // namespace tilgc
+
+#endif // TILGC_SUPPORT_WATCHDOG_H

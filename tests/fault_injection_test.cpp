@@ -21,13 +21,16 @@
 
 #include "gc/HeapError.h"
 #include "runtime/Mutator.h"
+#include "runtime/MutatorGroup.h"
 #include "support/FaultInjector.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace tilgc;
 
@@ -55,6 +58,12 @@ uint64_t envSeed(uint64_t Default) {
 unsigned envVerifyLevel(unsigned Default) {
   if (const char *E = std::getenv("TILGC_VERIFY_LEVEL"))
     return static_cast<unsigned>(std::atoi(E));
+  return Default;
+}
+
+uint64_t envU64(const char *Name, uint64_t Default) {
+  if (const char *E = std::getenv(Name))
+    return static_cast<uint64_t>(std::strtoull(E, nullptr, 10));
   return Default;
 }
 
@@ -235,7 +244,16 @@ TEST(FaultInjectionDeath, PersistentBlockStarvationDiesInRecovery) {
 /// run a workload under a hard limit, and require the resilience contract —
 /// identical checksum or structured HeapExhausted, heap verifiably intact
 /// in both cases. TILGC_TORTURE_SEED shifts the whole schedule; CI sweeps
-/// it without recompiling.
+/// it without recompiling, and TILGC_GC_DEADLINE_US /
+/// TILGC_SAFEPOINT_DEADLINE_US override the seed-chosen watchdog deadlines
+/// so the supervision step can tighten them to bark-inducing values.
+///
+/// The matrix spans every post-PR-3 subsystem: both major engines
+/// (semispace and mark-compact, so MarkPlanThrow exercises the failover
+/// path), K ∈ {1, 2, 8} mutators through the real MutatorGroup runtime
+/// (so TlabRefillFail and SafepointNoShow hit live TLAB refills and
+/// rendezvous), all three barrier families (so CardSweepThrow hits real
+/// dirty-card sweeps), and HostGrowFail under every reservation.
 class ResilienceTorture : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ResilienceTorture, CompletesOrFailsStructurally) {
@@ -248,34 +266,96 @@ TEST_P(ResilienceTorture, CompletesOrFailsStructurally) {
   ScopedFaults Guard;
   FaultInjector &FI = FaultInjector::global();
   unsigned Threads = (Seed >> 2) % 3 == 0 ? 1 : ((Seed >> 2) % 3 == 1 ? 2 : 8);
+  bool MarkCompact = (Seed >> 5) & 1;
   FI.armFromSeed(FaultPoint::SpaceAllocNull, Seed, 20000, 2);
   if (Threads > 1) {
     FI.armFromSeed(FaultPoint::WorkerThrow, Seed, 500, 1);
     FI.armFromSeed(FaultPoint::SpaceBlockHandout, Seed, 200, 1);
+    // Multi-mutator runtime points: a refused TLAB handout degrades to the
+    // stopped-allocation slow path; a no-show skips one park poll (bounded
+    // FireCount so the rendezvous still completes).
+    FI.armFromSeed(FaultPoint::TlabRefillFail, Seed, 100, 2);
+    FI.armFromSeed(FaultPoint::SafepointNoShow, Seed, 50, 1);
   }
+  if (MarkCompact)
+    // Aborts the still-mutation-free mark/plan phase; the collection must
+    // fail over to a semispace evacuation with the checksum intact.
+    FI.armFromSeed(FaultPoint::MarkPlanThrow, Seed, 200, 1);
+  // Fires only when a card/hybrid configuration actually sweeps cards;
+  // harmless (zero crossings) under pure SSB.
+  FI.armFromSeed(FaultPoint::CardSweepThrow, Seed, 100, 1);
+  // At most 2 consecutive refusals: the reservation retry loop (4 attempts
+  // with backoff) must absorb them without surfacing anything.
+  FI.armFromSeed(FaultPoint::HostGrowFail, Seed, 20, 2);
   if (Seed & 1)
     FI.arm(FaultPoint::FromSpacePoison, 1, FaultInjector::Forever);
 
   MutatorConfig C = faultConfig("torture", Threads);
   C.HardLimitBytes = 8u << 20;
-  Mutator M(C);
-  bool Structured = false;
-  uint64_t Sum = 0;
-  try {
-    Sum = W->run(M, 0.12);
-  } catch (const HeapExhausted &E) {
-    Structured = true;
-    EXPECT_NE(std::string(E.what()).find("tilgc heap state"),
-              std::string::npos);
-  } catch (const MLRaise &) {
-    Structured = true; // Workload unwound through an injected failure.
+  C.MajorGc = MarkCompact ? GenerationalCollector::MajorGcKind::MarkCompact
+                          : GenerationalCollector::MajorGcKind::Semispace;
+  switch ((Seed >> 6) % 3) {
+  case 0:
+    break; // SequentialStoreBuffer default.
+  case 1:
+    C.Barrier = GenerationalCollector::BarrierKind::CardMarking;
+    break;
+  case 2:
+    C.Barrier = GenerationalCollector::BarrierKind::Hybrid;
+    break;
   }
-  if (!Structured)
-    EXPECT_EQ(Sum, Expected) << W->name() << " seed " << Seed;
-  FI.reset(); // Verify with injection quiesced.
-  std::string Error;
-  EXPECT_TRUE(M.verifyHeap(Error))
-      << W->name() << " seed " << Seed << ": " << Error;
+  // Watchdog supervision rides along on some seeds. The defaults are wide
+  // enough that barks are rare in a healthy run; a bark that does fire
+  // under Recover aborts only the mutation-free mark/plan phase, so the
+  // checksum contract below still holds either way.
+  C.GcDeadlineMicros = envU64("TILGC_GC_DEADLINE_US", (Seed & 2) ? 200000 : 0);
+  C.SafepointDeadlineMicros =
+      envU64("TILGC_SAFEPOINT_DEADLINE_US", (Seed & 4) ? 100000 : 0);
+
+  bool Structured = false;
+  std::string VerifyError;
+  bool Verified = false;
+  if (Threads == 1) {
+    Mutator M(C);
+    uint64_t Sum = 0;
+    try {
+      Sum = W->run(M, 0.12);
+    } catch (const HeapExhausted &E) {
+      Structured = true;
+      EXPECT_NE(std::string(E.what()).find("tilgc heap state"),
+                std::string::npos);
+    } catch (const MLRaise &) {
+      Structured = true; // Workload unwound through an injected failure.
+    }
+    if (!Structured) {
+      EXPECT_EQ(Sum, Expected) << W->name() << " seed " << Seed;
+    }
+    FI.reset(); // Verify with injection quiesced.
+    Verified = M.verifyHeap(VerifyError);
+  } else {
+    MutatorGroup G(C, Threads);
+    std::vector<uint64_t> Sums(Threads, 0);
+    try {
+      G.run([&](Mutator &M, unsigned I) {
+        std::unique_ptr<Workload> Local = makeWorkloadByName(W->name());
+        Sums[I] = Local->run(M, 0.12);
+      });
+      for (unsigned I = 0; I < Threads; ++I)
+        EXPECT_EQ(Sums[I], Expected)
+            << W->name() << " seed " << Seed << " thread " << I;
+    } catch (const HeapExhausted &E) {
+      Structured = true;
+      EXPECT_NE(std::string(E.what()).find("tilgc heap state"),
+                std::string::npos);
+    } catch (const MLRaise &) {
+      Structured = true;
+    }
+    (void)Structured;
+    FI.reset();
+    Verified = G.mutator(0).verifyHeap(VerifyError);
+  }
+  EXPECT_TRUE(Verified) << W->name() << " seed " << Seed << ": "
+                        << VerifyError;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceTorture,

@@ -28,6 +28,7 @@
 
 #include "heap/StoreBuffer.h"
 #include "runtime/Mutator.h"
+#include "support/FaultInjector.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
@@ -838,6 +839,57 @@ TEST(TraceExport, CardConfigEmitsCardScanPhaseAndCounters) {
   EXPECT_NE(Json.find("\"cards_scanned\""), std::string::npos);
   EXPECT_NE(Json.find("\"crossing_map_updates\""), std::string::npos);
   EXPECT_NE(Json.find("\"hybrid_switched\""), std::string::npos);
+}
+
+TEST(TraceExport, SupervisionPinsFailoverBitAndWatchdogInstants) {
+  FaultInjector::global().reset();
+  EventRecorder Rec;
+  MutatorConfig Cfg = explicitOnlyConfig(CollectorKind::Generational, 2);
+  Cfg.MajorGc = GenerationalCollector::MajorGcKind::MarkCompact;
+  Cfg.GcDeadlineMicros = 2000;
+  Cfg.WatchdogEscalation = WatchdogPolicy::Report;
+  Cfg.Observer = &Rec;
+  {
+    Mutator M(Cfg);
+    churn(M, 2000);
+    // Retain enough live data that the majors below have parallel mark
+    // work (a near-empty heap marks serially and WorkerStall never fires).
+    Frame F(M, obsRootsKey());
+    F.set(1, Value::null());
+    for (int I = 0; I < 2000; ++I) {
+      Value Cell = M.allocRecord(obsSite(static_cast<unsigned>(I)), 3, 0b110);
+      M.initField(Cell, 0, Value::fromInt(I));
+      M.initField(Cell, 1, F.get(1));
+      F.set(1, Cell);
+    }
+    // One injected mark abort: that major (and only it) pins the
+    // deterministic EngineFailover bit.
+    FaultInjector::global().arm(FaultPoint::MarkPlanThrow, 1,
+                                /*FireCount=*/1);
+    M.collect(/*Major=*/true);
+    // One stalled major: 20ms worker stalls past the 2ms deadline produce
+    // a watchdog-bark instant; Report leaves the collection alone.
+    FaultInjector::global().arm(FaultPoint::WorkerStall, 1, /*FireCount=*/2);
+    M.collect(/*Major=*/true);
+    FaultInjector::global().reset();
+    EXPECT_EQ(M.gcStats().MajorEngineFailovers, 1u);
+  }
+  unsigned FailoverEvents = 0;
+  for (size_t I = 0; I < Rec.size(); ++I)
+    FailoverEvents += Rec.event(I).EngineFailover;
+  EXPECT_EQ(FailoverEvents, 1u);
+  EXPECT_FALSE(Rec.barks().empty());
+
+  std::string Json = TraceExporter::render(Rec);
+  JsonChecker Checker(Json);
+  EXPECT_TRUE(Checker.valid()) << Json.substr(0, 400);
+  EXPECT_NE(Json.find("\"engine_failover\":true"), std::string::npos)
+      << "the failed-over major must export the failover bit";
+  EXPECT_NE(Json.find("\"engine_failover\":false"), std::string::npos);
+  EXPECT_NE(Json.find("watchdog bark"), std::string::npos)
+      << "an expired deadline must export an instant event";
+  EXPECT_NE(Json.find("\"kind\":\"gc-cycle\""), std::string::npos);
+  EXPECT_NE(Json.find("\"deadline_us\":2000"), std::string::npos);
 }
 
 TEST(TraceExport, SerialTraceHasNoWorkerTracks) {

@@ -57,7 +57,7 @@ HeapExhausted exhaust(Mutator &M, Frame &F) {
     return E;
   }
   ADD_FAILURE() << "allocation loop never hit the hard limit";
-  return HeapExhausted(0, "");
+  return HeapExhausted(0, OomStage::RetryAfterMinor, "");
 }
 
 void expectStructuredDump(const HeapExhausted &E, const char *CollectorTag) {
