@@ -134,6 +134,30 @@ public:
     return nullptr;
   }
 
+  /// The space a mutator-group TLAB refill may carve blocks from, or null
+  /// to force the refill through the stop-the-world slow path. Defaults to
+  /// the inline-alloc space; the pause-budget incremental mode overrides
+  /// this so TLABs stay live between slices while the single-mutator
+  /// inline path is disabled for per-allocation slice polling.
+  virtual Space *tlabAllocSpace(size_t &MaxBytes) {
+    return inlineAllocSpace(MaxBytes);
+  }
+
+  // --- SATB deletion barrier (pause-budget incremental marking) ---------
+  //
+  // While an incremental major-mark cycle is live, the mutator must report
+  // the OLD value of every overwritten pointer slot BEFORE the store, so a
+  // snapshot edge cannot be hidden from the tracer between slices. The
+  // flag is a plain bool read on the write-barrier path: single-threaded
+  // mutation, or stop-the-world transitions in the group runtime.
+
+  /// Whether SATB recording is currently required (incremental mark live).
+  bool satbLive() const { return SatbMarkingLive; }
+
+  /// Records the old value of an overwritten pointer slot. Only called
+  /// when satbLive(); default ignores it (non-incremental collectors).
+  virtual void satbRecord(Word OldBits) { (void)OldBits; }
+
   /// Registers an additional mutator thread's stack and registers as root
   /// sources (multi-mutator runtime). The world must be stopped (or not
   /// yet started) around every collection involving these; stack markers
@@ -274,6 +298,9 @@ protected:
         return true;
     return false;
   }
+
+  /// See satbLive(). Set/cleared by the incremental major-mark cycle.
+  bool SatbMarkingLive = false;
 
   CollectorEnv Env;
   GcStats Stats;

@@ -113,6 +113,12 @@ void GenerationalCollector::noteFootprint() {
 
 Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
                                       uint32_t PtrMask, uint32_t SiteId) {
+  // Pause-budget mode: with a cycle live every allocation passes through
+  // here (the inline fast path is disabled), making allocation the slice
+  // safepoint — exactly the paper's safe-point discipline, reused.
+  if (TILGC_UNLIKELY(IncCycleLive))
+    incrementalTick();
+
   Word Descriptor = header::make(Kind, LenWords, PtrMask);
   uint64_t Total = objectTotalBytes(Descriptor);
   size_t PayloadBytes = static_cast<size_t>(LenWords) * sizeof(Word);
@@ -125,8 +131,23 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     if (footprintBytes() + Total > Opts.BudgetBytes &&
         LOSAllocSinceGC + Total >= Opts.BudgetBytes / 8) {
       TimerScope Gc(Stats.GcTime);
-      doMajor(0, GcTrigger::LargeObjectPressure);
-      Collected = true;
+      if (TILGC_UNLIKELY(incrementalModeActive()) && !IncCycleLive &&
+          !Opts.UseStackMarkers) {
+        // Budget mode: soft LOS pressure opens a cycle instead of paying a
+        // stop-the-world major here; the reclaim arrives at the cycle's
+        // finish (the footprint may overshoot the soft budget until then —
+        // the same trade the paper's soft k*Min budget already makes).
+        // Marker configurations skip this site: snapshotting roots here
+        // needs a mid-epoch stack scan, which only a markerless scan can
+        // do without breaking the §5 reuse invariant.
+        startIncrementalCycle(/*RescanRoots=*/true);
+        IncTrigger = GcTrigger::LargeObjectPressure;
+      } else if (!IncCycleLive) {
+        doMajor(0, GcTrigger::LargeObjectPressure);
+        Collected = true;
+      }
+      // A live cycle is already collecting toward this pressure: let the
+      // slices run rather than forcing the finish for a soft threshold.
     }
     // LOS backing storage comes straight from the host, so the hard cap is
     // enforced here rather than by a failing space. One major collection
@@ -142,6 +163,13 @@ Word *GenerationalCollector::allocate(ObjectKind Kind, uint32_t LenWords,
     }
     Word *Payload = LOS.allocate(Descriptor, makeMeta(SiteId));
     NewLargeObjects.push_back(Payload);
+    // Large objects born during an incremental cycle are allocated black:
+    // they postdate the snapshot, so the finish seeds them rather than
+    // relying on a mark bit the slices never set.
+    if (TILGC_UNLIKELY(IncCycleLive)) {
+      IncNewLOS.push_back(Payload);
+      IncLosBytesSinceSlice += Total;
+    }
     LOSAllocSinceGC += Total;
     noteFootprint();
     accountAllocation(Kind, Descriptor, SiteId);
@@ -281,6 +309,14 @@ void GenerationalCollector::hybridSwitchToCards() {
     LOSDirtySlots.push_back(Slot);
   }
   SSB.clear();
+  // The barrier never records into the SSB again, so from here on every
+  // collection clears an empty buffer. Without the latch each of those
+  // clears counts as a low-fill clear and the shrink policy halves the
+  // flood-sized capacity step by step — each halving allocating a fresh
+  // half-size backing next to the old one, a transient 1.5x-flood spike
+  // repeated every ShrinkAfterClears collections, all for a buffer that is
+  // permanently idle. Latch the policy off instead.
+  SSB.disableShrink();
   HybridCardMode = true;
   HybridSwitchedSinceGC = true;
   ++Stats.HybridSwitches;
@@ -482,6 +518,24 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
   accountStackAtGC();
   scanStackForRoots();
 
+  // Pause-budget cycle live: capture the outgoing old-generation edges of
+  // *every* young object before evacuation, including ones about to die.
+  // This closes the SATB young-mediator hole — a tenured object reachable
+  // at snapshot time only through a young object could otherwise be lost if
+  // the mutator stored its pointer into an already-black object (the
+  // barrier filters young values) and the young mediator then died here.
+  // Promote-all keeps all young objects in NurseryFrom at minor entry, so
+  // walking it alone is complete. Cost: one descriptor-driven pass over a
+  // nursery that is about to be evacuated anyway.
+  if (TILGC_UNLIKELY(IncCycleLive)) {
+    TimerScope T(Stats.CopyTime);
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::IncrementalMark);
+    NurseryFrom->walk([&](Word *Payload, Word Descriptor, bool) {
+      forEachPointerFieldWith(Descriptor, Payload,
+                              [&](Word *Field) { IncMC->markSeed(*Field); });
+    });
+  }
+
   Evacuator::Config C;
   C.From = {NurseryFrom, nullptr, nullptr};
   C.Dest = TenuredFrom;
@@ -644,9 +698,32 @@ void GenerationalCollector::doMinor(size_t NeedTenuredBytes,
 
   // Tenured pressure: if the next nursery-load might not fit, collect the
   // old generation now (a separate telemetry event — the minor's is
-  // closed).
-  if (TenuredFrom->freeBytes() < NurseryFrom->capacityBytes())
+  // closed). In pause-budget mode the cycle starts early — once tenured
+  // free space drops below half the space (or three nursery-loads,
+  // whichever is larger) — so the slices cover roughly the second half of
+  // every inter-major period. The long runway is what keeps finishes rare
+  // relative to slices: high-promotion workloads can eat a nursery-load
+  // of tenured headroom in a single minor, and a small heap's whole
+  // tenured space is only a handful of nursery-loads, so a threshold
+  // keyed to the nursery alone leaves near-sliceless cycles whose
+  // stop-the-world finishes dominate the pause profile. An already-live
+  // cycle that still hits the stock threshold is out of runway and is
+  // force-finished via doMajor.
+  if (TILGC_UNLIKELY(IncCycleLive)) {
+    // The nursery is empty again: re-anchor the slice schedule so the next
+    // epoch gets its full complement of slices.
+    IncSliceStrideBytes = incrementalStrideBytes();
+    IncNextSliceNurseryBytes = IncSliceStrideBytes;
+    if (TenuredFrom->freeBytes() < NurseryFrom->capacityBytes())
+      doMajor(0, GcTrigger::TenuredPressure); // force-finishes the cycle
+  } else if (TILGC_UNLIKELY(incrementalModeActive()) &&
+             TenuredFrom->freeBytes() <
+                 std::max<size_t>(3 * NurseryFrom->capacityBytes(),
+                                  TenuredFrom->capacityBytes() / 2)) {
+    startIncrementalCycle(/*RescanRoots=*/false);
+  } else if (TenuredFrom->freeBytes() < NurseryFrom->capacityBytes()) {
     doMajor(0, GcTrigger::TenuredPressure);
+  }
 }
 
 bool GenerationalCollector::shouldPoison() const {
@@ -725,6 +802,14 @@ void GenerationalCollector::auditRememberedSets() {
 
 void GenerationalCollector::doMajor(size_t NeedTenuredBytes,
                                     GcTrigger Trigger) {
+  // A live pause-budget cycle owns the major machinery: any demand for a
+  // full collection — tenured pressure, the OOM ladder, an explicit
+  // collect(), the LOS hard limit — completes the in-flight mark and runs
+  // the stock compaction on top of it instead of starting a second major.
+  if (TILGC_UNLIKELY(IncCycleLive)) {
+    finishIncrementalCycle(NeedTenuredBytes, Trigger);
+    return;
+  }
   if (Opts.MajorGc == MajorGcKind::MarkCompact)
     doMajorMarkCompact(NeedTenuredBytes, Trigger);
   else
@@ -1013,6 +1098,39 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
   if (M.serialRecovered())
     ++Stats.MarkSerialRecoveries;
 
+  completeMarkedMajor(M, NeedTenuredBytes);
+  ConsecutiveMcFailovers = 0;
+  } catch (const MarkPlanFault &) {
+    // Engine failover: the mark/plan phases are mutation-free, so the heap
+    // is exactly as the mutator left it. Abandon the mark-compact attempt
+    // and finish this collection with a semispace evacuation instead.
+    ++Stats.MajorEngineFailovers;
+    if (++ConsecutiveMcFailovers >= Opts.FailoverStickyLimit)
+      McStickyDisabled = true;
+    if (GcEvent *Ev = Tel.currentEvent())
+      Ev->EngineFailover = true;
+    // The aborted mark may have left a partial LOS mark set; clear it
+    // WITHOUT sweeping (an unmarked-but-live object must not be freed).
+    // The fallback evacuation re-marks live LOS objects via its own trace.
+    LOS.clearMarks();
+    FailedOver = true;
+  }
+  } // MarkCompact engine scope: bitmaps and plan state released here.
+
+  if (TILGC_UNLIKELY(FailedOver))
+    runMajorEvacuationFallback(NeedTenuredBytes);
+
+  finishMajorEvent();
+}
+
+/// Completes a major collection whose mark phase already ran: consumes the
+/// plan, compacts in place or grows through an evacuating swap, sweeps, and
+/// rebinds the card/crossing overlays. Factored out of doMajorMarkCompact
+/// so the pause-budget finish can run the identical completion on top of an
+/// incrementally-built mark. The plan/pre-commit fault points live here, so
+/// this may throw MarkPlanFault — callers own the failover.
+void GenerationalCollector::completeMarkedMajor(MarkCompact &M,
+                                                size_t NeedTenuredBytes) {
   // Decide in place vs grow while nothing has moved. The floor leaves the
   // next minor collection's worst case (a full nursery plus parallel block
   // slack) so compaction does not immediately pressure-chain into another
@@ -1192,28 +1310,6 @@ void GenerationalCollector::doMajorMarkCompact(size_t NeedTenuredBytes,
       LOSAllocSinceGC = 0;
     }
   }
-  ConsecutiveMcFailovers = 0;
-  } catch (const MarkPlanFault &) {
-    // Engine failover: the mark/plan phases are mutation-free, so the heap
-    // is exactly as the mutator left it. Abandon the mark-compact attempt
-    // and finish this collection with a semispace evacuation instead.
-    ++Stats.MajorEngineFailovers;
-    if (++ConsecutiveMcFailovers >= Opts.FailoverStickyLimit)
-      McStickyDisabled = true;
-    if (GcEvent *Ev = Tel.currentEvent())
-      Ev->EngineFailover = true;
-    // The aborted mark may have left a partial LOS mark set; clear it
-    // WITHOUT sweeping (an unmarked-but-live object must not be freed).
-    // The fallback evacuation re-marks live LOS objects via its own trace.
-    LOS.clearMarks();
-    FailedOver = true;
-  }
-  } // MarkCompact engine scope: bitmaps and plan state released here.
-
-  if (TILGC_UNLIKELY(FailedOver))
-    runMajorEvacuationFallback(NeedTenuredBytes);
-
-  finishMajorEvent();
 }
 
 /// Closes out a major collection event: verification, deterministic event
@@ -1358,4 +1454,375 @@ void GenerationalCollector::forEachLiveObject(
     WalkSpace(*NurseryTo);
   WalkSpace(*TenuredFrom);
   LOS.walk([&](Word *Payload, Word Descriptor) { Fn(Payload, Descriptor); });
+}
+
+//===----------------------------------------------------------------------===//
+// Pause-budget incremental major cycle (Opts.MaxPauseMicros > 0)
+//===----------------------------------------------------------------------===//
+//
+// The stock major collection is one stop-the-world MARK + COMPACT pause.
+// In pause-budget mode the MARK phase is sliced into bounded increments run
+// at allocation safepoints, interleaved with mutator execution; the COMPACT
+// half stays stop-the-world at the cycle's finishing collection (slicing a
+// sliding compaction would need read barriers the runtime does not have).
+// Correctness is snapshot-at-the-beginning: the cycle marks everything
+// reachable when it began, a deletion barrier (satbRecord) preserves edges
+// the mutator overwrites mid-cycle, and everything allocated or promoted
+// during the cycle is treated as live (allocate-black, materialized as
+// finish-time seeds). The one-cycle float this retains is collected by the
+// next cycle — the same trade every SATB collector makes.
+
+void GenerationalCollector::startIncrementalCycle(bool RescanRoots) {
+  assert(!IncCycleLive && "nested incremental cycles");
+  assert(incrementalModeActive() && "cycle start outside budget mode");
+
+  if (RescanRoots) {
+    // Mid-epoch call site (LOS soft pressure): the last collection's root
+    // scan is stale. Only legal without markers — see the caller.
+    assert(!Opts.UseStackMarkers && "mid-epoch marker scan would break §5");
+    scanStackForRoots();
+  }
+
+  MarkCompact::Config MCC;
+  MCC.Young = {NurseryFrom, AgedTenuring() ? NurseryTo : nullptr};
+  MCC.Tenured = TenuredFrom;
+  MCC.Regions = &Regions;
+  MCC.LOS = &LOS;
+  MCC.Profiler = Env.Profiler;
+  MCC.Telemetry = &Tel;
+  if (usesCardBarrier())
+    MCC.CrossDest = &CrossMap;
+  MCC.Pool = Pool.get();
+  // No AbortFlag: slices poll the watchdog's recover request themselves and
+  // answer it with a stop-the-world finish, not an engine abort — the
+  // accumulated mark is exactly what makes the finish fast.
+  IncMC = std::make_unique<MarkCompact>(MCC);
+  IncMC->beginIncremental();
+
+  IncCycleLive = true;
+  SatbMarkingLive = true;
+  ++IncCycleCount;
+  IncTrigger = GcTrigger::TenuredPressure;
+  // Everything the old generation gains after this point (promotions,
+  // pretenured allocation, tenured fallback) is cycle-era: seeded at finish
+  // rather than traced by slices, so slices never race the frontier.
+  IncTenuredDeltaFrom = TenuredFrom->frontier();
+  IncNewLOS.clear();
+  // Cycle-long watchdog hold: one deadline bounds the whole cycle, slices
+  // and finish nest inside it (armGcWatchdog is depth-counted). A Recover
+  // bark is answered at the next slice.
+  armGcWatchdog();
+
+  // Snapshot the roots. SATB only covers heap stores (writeField); stack
+  // and register mutations have no barrier, so an object reachable *only*
+  // from the stack at snapshot time must be seeded now — the mutator may
+  // launder its pointer into an already-black heap object and then drop
+  // the stack slot, and the finish rescan would miss it.
+  {
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::IncrementalMark);
+    for (Word *Slot : Roots.FreshSlotRoots)
+      IncMC->markSeed(*Slot);
+    for (Word *Slot : RegRootAddrs)
+      IncMC->markSeed(*Slot);
+    for (Word *Slot : Roots.ReusedSlotRoots)
+      IncMC->markSeed(*Slot);
+  }
+
+  // First slice after one stride of allocation; see incrementalStrideBytes
+  // for how the stride is sized against the pause SLO.
+  IncSliceStrideBytes = incrementalStrideBytes();
+  IncLosBytesSinceSlice = 0;
+  IncNextSliceNurseryBytes = NurseryFrom->usedBytes() + IncSliceStrideBytes;
+}
+
+void GenerationalCollector::incrementalTick() {
+  if (!incrementalSliceDue())
+    return;
+  TimerScope Gc(Stats.GcTime);
+  FaultInjector::ScopedGcPhase InGc;
+  runIncrementalSlice();
+}
+
+void GenerationalCollector::runIncrementalSlice() {
+  ++Stats.NumGC; // Invalidates mutator fast-path epochs; NumMajorGC is
+                 // bumped once, by the finishing collection.
+  ++IncSliceCount;
+  Tel.beginCollection(GcGeneration::Major, IncTrigger, Stats.NumGC);
+  GcWatchScope WatchScope(*this);
+  {
+    TimerScope T(Stats.CopyTime);
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::IncrementalMark);
+    uint64_t SliceBeginNs = GcTelemetry::nowNs();
+    // The deletion-barrier backlog first: its entries are exactly the
+    // snapshot edges the mutator severed since the last slice.
+    for (Word Bits : Satb.values())
+      IncMC->markSeed(Bits);
+    Satb.clear();
+    // Budget half the pause for the whole slice: the histogram's
+    // percentile reports bucket upper edges (2x resolution), so a
+    // half-budget target keeps the reported p99 under the full budget.
+    // The SATB drain above already spent part of it; the grey-drain gets
+    // the remainder, with a floor so marking always advances even behind
+    // a mutation storm.
+    uint64_t HalfNs = static_cast<uint64_t>(Opts.MaxPauseMicros) * 1000 / 2;
+    uint64_t SpentNs = GcTelemetry::nowNs() - SliceBeginNs;
+    IncMC->markStep(SpentNs < HalfNs ? HalfNs - SpentNs : HalfNs / 16 + 1);
+  }
+  if (TILGC_UNLIKELY(effectiveVerifyLevel() >= 2))
+    auditTricolorInvariant();
+  Tel.endCollection();
+  // Re-arm both pacing legs relative to the current fill so every slice
+  // costs one stride of fresh allocation.
+  IncSliceStrideBytes = incrementalStrideBytes();
+  IncNextSliceNurseryBytes = NurseryFrom->usedBytes() + IncSliceStrideBytes;
+  IncLosBytesSinceSlice = 0;
+
+  // Watchdog Recover escalation: the supervisor decided the cycle has
+  // overstayed its deadline. Fall back to the stop-the-world completion —
+  // the mark accumulated so far is kept, not discarded.
+  if (TILGC_UNLIKELY(WD.recoverRequested())) {
+    WD.clearRecoverRequest();
+    finishIncrementalCycle(0, IncTrigger);
+  }
+}
+
+void GenerationalCollector::finishIncrementalCycle(size_t NeedTenuredBytes,
+                                                   GcTrigger Trigger) {
+  assert(IncCycleLive && "finish without a live cycle");
+  FaultInjector::ScopedGcPhase InGc;
+
+  ++Stats.NumGC;
+  ++Stats.NumMajorGC;
+  Tel.beginCollection(GcGeneration::Major, Trigger, Stats.NumGC);
+  GcWatchScope WatchScope(*this);
+  // Unconditional teardown at scope exit: normal completion, engine
+  // failover, and the grow path's catchable HeapExhausted refusal all
+  // leave the collector cycle-free with the SATB barrier lowered.
+  struct CycleTeardown {
+    GenerationalCollector &C;
+    ~CycleTeardown() { C.clearIncrementalState(); }
+  } Teardown{*this};
+  noteFootprint();
+  accountStackAtGC();
+  scanStackForRoots();
+
+  MarkCompact &M = *IncMC;
+  bool FailedOver = false;
+  {
+    TimerScope T(Stats.StackTime);
+    GcTelemetry::PhaseScope PS(Tel, GcPhase::RootHandoff);
+    // The spans feed the fixup's root-slot rewriting (marking consumes the
+    // *values*, seeded below — markStep never touches the spans).
+    M.addRootSpan(Roots.FreshSlotRoots.data(), Roots.FreshSlotRoots.size());
+    M.addRootSpan(RegRootAddrs.data(), RegRootAddrs.size());
+    M.addRootSpan(Roots.ReusedSlotRoots.data(), Roots.ReusedSlotRoots.size());
+  }
+  try {
+    {
+      TimerScope T(Stats.CopyTime);
+      GcTelemetry::PhaseScope PS(Tel, GcPhase::IncrementalMark);
+      // Close the snapshot: fresh roots, the deletion-barrier backlog, and
+      // every cycle-era allocation (all young objects, the tenured delta,
+      // large objects born mid-cycle), then drain to empty. Dead cycle-era
+      // objects ride along as the cycle's one-epoch float.
+      M.enableYoungMarking();
+      for (Word *Slot : Roots.FreshSlotRoots)
+        M.markSeed(*Slot);
+      for (Word *Slot : RegRootAddrs)
+        M.markSeed(*Slot);
+      for (Word *Slot : Roots.ReusedSlotRoots)
+        M.markSeed(*Slot);
+      for (Word Bits : Satb.values())
+        M.markSeed(Bits);
+      Satb.clear();
+      auto SeedAll = [&](const Space &S) {
+        S.walk([&](Word *Payload, Word, bool Forwarded) {
+          if (!Forwarded)
+            M.markSeed(reinterpret_cast<Word>(Payload));
+        });
+      };
+      SeedAll(*NurseryFrom);
+      if (AgedTenuring())
+        SeedAll(*NurseryTo);
+      TenuredFrom->walk([&](Word *Payload, Word, bool Forwarded) {
+        if (!Forwarded && Payload - HeaderWords >= IncTenuredDeltaFrom)
+          M.markSeed(reinterpret_cast<Word>(Payload));
+      });
+      for (Word *Payload : IncNewLOS)
+        M.markSeed(reinterpret_cast<Word>(Payload));
+      M.markStep(~0ull);
+      M.finishIncrementalMark();
+    }
+    Stats.MarkWorkerFaults += M.workerFaults();
+    if (M.serialRecovered())
+      ++Stats.MarkSerialRecoveries;
+
+    completeMarkedMajor(M, NeedTenuredBytes);
+    ConsecutiveMcFailovers = 0;
+  } catch (const MarkPlanFault &) {
+    // Plan/pre-commit fault: same failover contract as the stock path —
+    // nothing has moved, so the semispace evacuation finishes the
+    // collection (and with it the cycle; the incremental mark is lost).
+    ++Stats.MajorEngineFailovers;
+    if (++ConsecutiveMcFailovers >= Opts.FailoverStickyLimit)
+      McStickyDisabled = true;
+    if (GcEvent *Ev = Tel.currentEvent())
+      Ev->EngineFailover = true;
+    LOS.clearMarks();
+    FailedOver = true;
+  }
+
+  if (TILGC_UNLIKELY(FailedOver))
+    runMajorEvacuationFallback(NeedTenuredBytes);
+
+  finishMajorEvent();
+}
+
+void GenerationalCollector::satbRecord(Word OldBits) {
+  // Tolerates a stale call (group-mode buffers may replay just after a
+  // finish tore the cycle down in the same stop-the-world window).
+  if (TILGC_UNLIKELY(!IncCycleLive) || !OldBits)
+    return;
+  Word *P = reinterpret_cast<Word *>(OldBits);
+  // Young values need no record: the pre-minor sweep captures every young
+  // object's outgoing edges before it can die, and the finish seeds the
+  // survivors wholesale.
+  if (inNursery(P))
+    return;
+  // Already black or grey: the snapshot edge is preserved by the mark.
+  if (IncMC->incrementalMarked(P) || LOS.isMarked(P))
+    return;
+  Satb.record(OldBits);
+}
+
+void GenerationalCollector::clearIncrementalState() {
+  if (!IncCycleLive)
+    return;
+  IncCycleLive = false;
+  SatbMarkingLive = false;
+  IncMC.reset();
+  Satb.clear();
+  IncNewLOS.clear();
+  IncTenuredDeltaFrom = nullptr;
+  IncNextSliceNurseryBytes = 0;
+  IncSliceStrideBytes = 0;
+  IncLosBytesSinceSlice = 0;
+  disarmGcWatchdog(); // Releases the cycle-long hold taken at start.
+}
+
+void GenerationalCollector::auditTricolorInvariant() {
+  // Markerless scans cannot resolve stub keys on a marker-bearing stack,
+  // and a marker-updating scan between collections would re-anchor frames
+  // without redirecting their roots (breaking the §5 reuse invariant), so
+  // the audit runs only in markerless configurations.
+  if (Opts.UseStackMarkers)
+    return;
+
+  // Actual roots right now, via scratch state (the collection-time Roots
+  // member must survive untouched for the eventual finish).
+  std::vector<Word> RootVals;
+  RootSet ARoots;
+  auto Harvest = [&](ShadowStack &Stack, RegisterFile &Regs) {
+    ScanStats AStats;
+    StackScanner::scan(Stack, Regs, nullptr, nullptr, ARoots, AStats,
+                       Opts.CompiledScanPlans);
+    for (Word *Slot : ARoots.FreshSlotRoots)
+      RootVals.push_back(*Slot);
+    for (Word *Slot : ARoots.ReusedSlotRoots)
+      RootVals.push_back(*Slot);
+    for (unsigned R : ARoots.RegRoots)
+      RootVals.push_back(Regs[R]);
+  };
+  Harvest(*Env.Stack, *Env.Regs);
+  for (const MutatorContext &C : ExtraContexts)
+    Harvest(*C.Stack, *C.Regs);
+
+  auto IsMarked = [&](Word *P) {
+    return IncMC->incrementalMarked(P) || LOS.isMarked(P);
+  };
+  auto InTenuredDelta = [&](Word *P) {
+    return TenuredFrom->contains(P) && P - HeaderWords >= IncTenuredDeltaFrom;
+  };
+  std::unordered_set<const Word *> Grey;
+  IncMC->forEachGrey([&](Word *P) { Grey.insert(P); });
+  std::unordered_set<const Word *> NewLosSet(IncNewLOS.begin(),
+                                             IncNewLOS.end());
+
+  // Simulate the finish drain: seeds are what the finish would seed; the
+  // expansion stops at black objects (marked and already scanned — the
+  // finish will not rescan them). Visited is therefore exactly the set of
+  // objects the finish would still scan given today's mark state.
+  std::unordered_set<const Word *> Visited;
+  std::vector<Word *> Work;
+  auto Consider = [&](Word Bits) {
+    if (!Bits)
+      return;
+    Word *P = reinterpret_cast<Word *>(Bits);
+    if (Visited.count(P))
+      return;
+    if (!Grey.count(P) && IsMarked(P))
+      return; // black: retained, but its fields will not be rescanned
+    Visited.insert(P);
+    Work.push_back(P);
+  };
+  for (Word Bits : RootVals)
+    Consider(Bits);
+  for (Word Bits : Satb.values())
+    Consider(Bits);
+  IncMC->forEachGrey(
+      [&](Word *P) { Consider(reinterpret_cast<Word>(P)); });
+  auto ConsiderSpace = [&](const Space &S) {
+    S.walk([&](Word *Payload, Word, bool Forwarded) {
+      if (!Forwarded)
+        Consider(reinterpret_cast<Word>(Payload));
+    });
+  };
+  ConsiderSpace(*NurseryFrom);
+  if (AgedTenuring())
+    ConsiderSpace(*NurseryTo);
+  TenuredFrom->walk([&](Word *Payload, Word, bool Forwarded) {
+    if (!Forwarded && InTenuredDelta(Payload))
+      Consider(reinterpret_cast<Word>(Payload));
+  });
+  for (Word *Payload : IncNewLOS)
+    Consider(reinterpret_cast<Word>(Payload));
+  while (!Work.empty()) {
+    Word *P = Work.back();
+    Work.pop_back();
+    forEachPointerField(P, [&](Word *F) { Consider(*F); });
+  }
+
+  // Ground truth: the full reachable closure from the actual roots,
+  // expanding through everything. Every member must be retained by the
+  // finish — already marked, or young/delta/new-LOS (seeded wholesale), or
+  // in the simulated scan set. A miss is a lost snapshot edge: the
+  // white-behind-black state the SATB barrier exists to prevent.
+  std::unordered_set<const Word *> Reach;
+  std::vector<Word *> RWork;
+  auto Expand = [&](Word Bits) {
+    if (!Bits)
+      return;
+    Word *P = reinterpret_cast<Word *>(Bits);
+    if (Reach.insert(P).second)
+      RWork.push_back(P);
+  };
+  for (Word Bits : RootVals)
+    Expand(Bits);
+  while (!RWork.empty()) {
+    Word *P = RWork.back();
+    RWork.pop_back();
+    forEachPointerField(P, [&](Word *F) { Expand(*F); });
+  }
+  for (const Word *CP : Reach) {
+    Word *P = const_cast<Word *>(CP);
+    if (Visited.count(P) || inNursery(P) || InTenuredDelta(P) ||
+        NewLosSet.count(P) || IsMarked(P))
+      continue;
+    fatalError("tilgc: tricolor invariant violated: live object %p is "
+               "unreachable by the finishing collection (cycle %llu, after "
+               "%llu slices): lost SATB record",
+               static_cast<void *>(P),
+               static_cast<unsigned long long>(IncCycleCount),
+               static_cast<unsigned long long>(IncSliceCount));
+  }
 }

@@ -38,12 +38,14 @@
 #include "heap/StoreBuffer.h"
 #include "support/Watchdog.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 namespace tilgc {
 
 class Evacuator;
+class MarkCompact;
 class WorkerPool;
 
 /// Two-generation copying collector with LOS, SSB/cards, stack markers,
@@ -156,6 +158,16 @@ public:
     /// sticky-disabled and every later major runs the semispace fallback
     /// (the MMTk lesson: when a plan keeps failing, switch plans).
     unsigned FailoverStickyLimit = 3;
+    /// Pause-budget SLO mode: when non-zero (and MajorGc == MarkCompact),
+    /// major collections run incrementally — the MARK phase is sliced into
+    /// increments of at most this many microseconds, scheduled at
+    /// allocation safepoints, with an SATB deletion barrier keeping the
+    /// trace sound between slices. The cycle is finished by one
+    /// stop-the-world collection when tenured pressure (or any forced
+    /// major) demands it. 0 (the default) disables the mode entirely:
+    /// every incremental path is gated off and results are bit-identical
+    /// to stock MarkCompact.
+    uint64_t MaxPauseMicros = 0;
   };
 
   GenerationalCollector(const CollectorEnv &Env, const Options &Opts);
@@ -205,14 +217,42 @@ public:
   }
   Space *inlineAllocSpace(size_t &MaxBytes) override {
     MaxBytes = Opts.LargeObjectThresholdBytes;
+    // While an incremental cycle is live every allocation must reach
+    // allocate() so the slice scheduler can run: disabling the fast path
+    // (the mutator re-validates per GC epoch, and every slice bumps the
+    // epoch) is what makes allocation the slice safepoint.
+    if (TILGC_UNLIKELY(IncCycleLive))
+      return nullptr;
     return NurseryFrom;
   }
+  Space *tlabAllocSpace(size_t &MaxBytes) override {
+    MaxBytes = Opts.LargeObjectThresholdBytes;
+    // Group runtime: TLABs stay live during an incremental cycle (a
+    // per-allocation poll would serialize every thread through the stop-
+    // the-world path); instead a refill fails exactly when a slice is due,
+    // funneling one thread into allocateStopped -> one slice per stop.
+    if (TILGC_UNLIKELY(IncCycleLive) && incrementalSliceDue())
+      return nullptr;
+    return NurseryFrom;
+  }
+
+  /// SATB deletion barrier (pause-budget incremental mode): records the
+  /// old value of an overwritten pointer slot unless it is null, young
+  /// (young objects are allocate-black for the cycle and never traced
+  /// between slices), or already marked.
+  void satbRecord(Word OldBits) override;
 
   /// The GC-cycle supervisor (tests / diagnostics; idle unless
   /// Opts.GcDeadlineMicros is set).
   Watchdog &gcWatchdog() { return WD; }
+
+  /// Incremental-cycle introspection (tests / diagnostics).
+  bool incrementalCycleLive() const { return IncCycleLive; }
+  uint64_t incrementalSlices() const { return IncSliceCount; }
+  uint64_t incrementalCycles() const { return IncCycleCount; }
+  size_t satbPending() const { return Satb.size(); }
   /// True once FailoverStickyLimit consecutive failovers disabled the
-  /// mark-compact engine for this collector\'s lifetime.
+  /// mark-compact engine for this collector's lifetime.
   bool markCompactDisabled() const { return McStickyDisabled; }
 
 private:
@@ -332,6 +372,69 @@ private:
   /// process. Aborts (fatalError) on a missed barrier.
   void auditRememberedSets();
 
+  // --- Pause-budget incremental major cycle (Opts.MaxPauseMicros > 0) ---
+
+  /// Whether the incremental mode is available at all (budget set,
+  /// mark-compact engine selected and not sticky-disabled).
+  bool incrementalModeActive() const {
+    return Opts.MaxPauseMicros > 0 &&
+           Opts.MajorGc == MajorGcKind::MarkCompact && !McStickyDisabled;
+  }
+  /// Whether enough allocation has accumulated for the next slice. Two
+  /// pacing legs: nursery growth past the watermark, and LOS bytes since
+  /// the last slice (an LOS-heavy phase barely grows the nursery, so the
+  /// watermark alone would leave whole cycles nearly sliceless).
+  bool incrementalSliceDue() const {
+    // Relaxed frontier read: in group mode this runs on the TLAB refill
+    // path while peers CAS block grants off the same nursery. The check is
+    // advisory — a stale value shifts the slice by one refill at most.
+    return NurseryFrom->usedBytesRelaxed() >= IncNextSliceNurseryBytes ||
+           (IncSliceStrideBytes &&
+            IncLosBytesSinceSlice >= IncSliceStrideBytes);
+  }
+  /// Allocation distance between slices: 1/128 of a nursery load, with a
+  /// floor so tiny test heaps don't slice every few objects. The divisor
+  /// is sized for the pause SLO's tail math — a cycle's stop-the-world
+  /// finish can only sit above the p99 if slices outnumber finishes by
+  /// well over two orders of magnitude (scheduler preemption inflates a
+  /// fraction of slice wall-times, and those outliers stack with the
+  /// finishes at the 1% boundary), and high-promotion workloads get only
+  /// a couple of nursery loads of tenured runway per cycle, so each load
+  /// must contribute ~128 slices.
+  size_t incrementalStrideBytes() const {
+    return std::max<size_t>(256, NurseryFrom->capacityBytes() / 128);
+  }
+  /// Opens a cycle: creates the incremental engine, snapshots the current
+  /// root values as mark seeds, raises the SATB barrier, and takes a
+  /// cycle-long watchdog hold. \p RescanRoots distinguishes the two legal
+  /// call sites: false at a minor collection's tail (the minor's scan is
+  /// current and every root was just fixed up), true from the LOS
+  /// soft-pressure path where the stack must be re-scanned first (markerless
+  /// configurations only — a marker-updating scan outside a collection
+  /// would re-anchor frames without redirecting their roots, breaking §5).
+  void startIncrementalCycle(bool RescanRoots);
+  /// allocate()-entry poll: runs one slice if due.
+  void incrementalTick();
+  /// One bounded mark increment: its own major GcEvent, SATB drain,
+  /// budgeted grey-draining, optional tricolor audit, recover-request
+  /// poll (a recover bark finishes the cycle stop-the-world).
+  void runIncrementalSlice();
+  /// Stop-the-world cycle completion: fresh root scan, final seeds (roots,
+  /// SATB backlog, cycle-era allocations), full drain, then the shared
+  /// post-mark body. Any forced major during a live cycle lands here.
+  void finishIncrementalCycle(size_t NeedTenuredBytes, GcTrigger Trigger);
+  /// Everything after a completed MARK phase, shared verbatim between
+  /// doMajorMarkCompact and finishIncrementalCycle: plan, fit-or-grow
+  /// decision, compact or evacuating grow, stats and space resets.
+  void completeMarkedMajor(MarkCompact &M, size_t NeedTenuredBytes);
+  /// VerifyLevel >= 2 between-slice audit: simulates the finish drain
+  /// (roots + grey + SATB + cycle-era allocations, never re-expanding
+  /// through already-black objects) and checks every truly-reachable
+  /// object would be retained. Catches lost SATB records.
+  void auditTricolorInvariant();
+  /// Tears down cycle state (idempotent; the finish's unwind guard).
+  void clearIncrementalState();
+
   // Collector heap-dump hooks.
   void appendHeapState(std::string &Out) const override;
   void forEachLiveObject(
@@ -421,6 +524,36 @@ private:
   /// Arm nesting depth: a tenured-pressure major chained inside a minor
   /// keeps the minor's watchdog window instead of re-arming.
   unsigned WatchDepth = 0;
+
+  // --- Pause-budget incremental cycle state (Opts.MaxPauseMicros > 0) ---
+  /// True from startIncrementalCycle() to the cycle's finish/teardown.
+  bool IncCycleLive = false;
+  /// The cycle's engine: seeded at start, fed by slices, completed (plan +
+  /// compact) by the finishing collection.
+  std::unique_ptr<MarkCompact> IncMC;
+  /// SATB deletion buffer: old values of pointer slots overwritten while
+  /// the cycle is live; drained into mark seeds at each slice.
+  SatbBuffer Satb;
+  /// Trigger recorded on slice events (the pressure that opened the cycle).
+  GcTrigger IncTrigger = GcTrigger::TenuredPressure;
+  /// Nursery-allocation pacing: a slice is due when the nursery has grown
+  /// past this watermark; reset after each slice and each minor.
+  size_t IncNextSliceNurseryBytes = 0;
+  /// One stride of the slice schedule (~1/256 nursery load), recomputed at
+  /// cycle start, after each slice, and at each minor's tail.
+  size_t IncSliceStrideBytes = 0;
+  /// Large-object bytes allocated since the last slice (the second pacing
+  /// leg of incrementalSliceDue).
+  size_t IncLosBytesSinceSlice = 0;
+  /// Tenured frontier at cycle start: [here, frontier) is the cycle-era
+  /// delta (promotions + pretenured allocations), seeded at finish.
+  Word *IncTenuredDeltaFrom = nullptr;
+  /// LOS payloads allocated during the cycle (NewLargeObjects clears at
+  /// every minor, so the cycle keeps its own union), seeded at finish.
+  std::vector<Word *> IncNewLOS;
+  /// Lifetime counters (tests / bench).
+  uint64_t IncSliceCount = 0;
+  uint64_t IncCycleCount = 0;
 };
 
 } // namespace tilgc

@@ -94,6 +94,10 @@ void MarkCompact::markObject(Word *Payload, Worker &W) {
   for (unsigned I = 0; I < 2; ++I) {
     Space *Y = C.Young[I];
     if (Y && Y->contains(Payload)) {
+      if (TILGC_UNLIKELY(IncSkipYoung))
+        return; // Incremental slices: young is allocate-black, seeded at
+                // finish — and a grey young pointer would go stale at the
+                // next minor collection.
       if (YoungBits[I].testAndSet(H))
         W.Local.push_back(Payload);
       return;
@@ -377,6 +381,69 @@ void MarkCompact::mark() {
   // Last mark-phase crossing: aborting here exercises the failover path
   // where LOS mark bits are already set and must be cleared (not swept).
   abortPoint();
+  Phase = MarkDone;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental mark (pause-budget mode)
+//===----------------------------------------------------------------------===//
+
+void MarkCompact::beginIncremental() {
+  assert(Phase == Fresh && "incremental mark must start on a fresh engine");
+  for (unsigned I = 0; I < 2; ++I)
+    if (C.Young[I])
+      YoungBits[I].attach(*C.Young[I]);
+  TenuredBits.attach(*C.Tenured);
+  assert(C.Regions->boundTo(*C.Tenured) &&
+         "region overlay attached to a stale reservation");
+  // Slices mark serially: the grey stack must persist across slices, and
+  // the deque/termination protocol buys nothing for bounded increments.
+  // C.Pool is still honored by the finish's parallel tenured fixup.
+  Parallel = false;
+  Workers.clear();
+  Workers.push_back(std::make_unique<Worker>());
+  Workers.back()->Seed = 1;
+  IncSkipYoung = true;
+}
+
+void MarkCompact::markSeed(Word Bits) {
+  assert(Phase == Fresh && !Workers.empty() &&
+         "markSeed outside an incremental mark");
+  if (!Bits)
+    return;
+  markObject(reinterpret_cast<Word *>(Bits), *Workers[0]);
+}
+
+bool MarkCompact::markStep(uint64_t BudgetNs) {
+  assert(Phase == Fresh && !Workers.empty() &&
+         "markStep outside an incremental mark");
+  Worker &W = *Workers[0];
+  uint64_t Start = GcTelemetry::nowNs();
+  Word *P;
+  uint64_t Scanned = 0;
+  // No abortPoint here: an injected MarkPlanThrow mid-slice could not be
+  // failed over (the heap keeps running between slices), so fault crossings
+  // stay confined to the finishing collection's plan/pre-commit points.
+  while (popLocal(W, P)) {
+    scanObject(P, W);
+    if (TILGC_UNLIKELY((++Scanned & 63) == 0) &&
+        GcTelemetry::nowNs() - Start >= BudgetNs)
+      return W.Local.empty(); // Serial: nothing is ever published to the
+                              // deque, so the private stack is the grey set.
+  }
+  return true;
+}
+
+void MarkCompact::finishIncrementalMark() {
+  assert(Phase == Fresh && !Workers.empty() &&
+         "finishIncrementalMark outside an incremental mark");
+  Worker &W = *Workers[0];
+  assert(W.Local.empty() && "grey work pending at incremental-mark finish");
+  LOSLive = std::move(W.LOSLive);
+  Workers.clear();
+  // Deterministic order + dedupe backstop, exactly as mark()'s tail.
+  std::sort(LOSLive.begin(), LOSLive.end());
+  LOSLive.erase(std::unique(LOSLive.begin(), LOSLive.end()), LOSLive.end());
   Phase = MarkDone;
 }
 

@@ -189,6 +189,58 @@ public:
   /// cannot be abandoned, so abort requests arriving later are ignored.
   void preCommitCheck() { abortPoint(); }
 
+  // --- Incremental marking (pause-budget mode) --------------------------
+  //
+  // An alternative front half to mark(): beginIncremental() attaches the
+  // bitmaps and one serial mark worker without tracing anything; seeds
+  // arrive via markSeed() and bounded grey-draining runs through
+  // markStep(), interleaved with mutator execution across many slices.
+  // Young pointers are dropped (neither marked nor queued) until
+  // enableYoungMarking(): every young object is a cycle-era allocation
+  // (the nursery was empty when the cycle began and minors empty it
+  // again), so the cycle treats young as allocate-black and seeds the
+  // whole young population at finish — which also guarantees the grey set
+  // never holds a pointer a minor collection could move.
+  // finishIncrementalMark() closes the phase exactly like mark(), so
+  // plannedTenuredBytes()/preCommitCheck()/compact() run unchanged.
+
+  /// Starts an incremental mark: bitmaps attached, serial worker created,
+  /// young-pointer marking disabled, nothing traced yet.
+  void beginIncremental();
+
+  /// Marks (and queues for scanning) the object at \p Bits if it is not
+  /// already marked. Ignores null and — until enableYoungMarking() —
+  /// young pointers.
+  void markSeed(Word Bits);
+
+  /// Drains grey work for at most \p BudgetNs wall-clock. Returns true
+  /// when no grey work remains (the slice finished the current closure).
+  bool markStep(uint64_t BudgetNs);
+
+  /// Re-enables young-pointer marking for the cycle-finishing collection.
+  void enableYoungMarking() { IncSkipYoung = false; }
+
+  /// Closes the incremental mark (grey set must be drained): merges the
+  /// LOS live list and flips the phase to MarkDone.
+  void finishIncrementalMark();
+
+  /// Whether the tenured object at \p Payload is already marked — the
+  /// SATB buffer's already-black filter. False for anything outside the
+  /// tenured space (LOS values are deduped at seed time instead).
+  bool incrementalMarked(const Word *Payload) const {
+    const Word *H = Payload - HeaderWords;
+    return TenuredBits.covers(H) && TenuredBits.test(H);
+  }
+
+  /// Visits every grey payload (marked but not yet scanned) — the
+  /// tricolor audit's pending-scan set. Incremental (serial) mode only.
+  template <typename FnT> void forEachGrey(FnT Fn) const {
+    if (Workers.empty())
+      return;
+    for (Word *P : Workers[0]->Local)
+      Fn(P);
+  }
+
   /// Executes the plan: profiler/aging pass, young forwarding installs,
   /// pointer fixup, slides, pads, frontier rewind, young survivor copies,
   /// crossing-map rebuild. After this the young spaces hold forwarded
@@ -289,6 +341,9 @@ private:
   std::atomic<unsigned> NumFaults{0};
   bool Parallel = false;
   bool Recovered = false;
+  /// Incremental mode: drop young pointers during slices (see
+  /// beginIncremental). Always false on the stock mark() path.
+  bool IncSkipYoung = false;
 
   std::vector<Word *> LOSLive; ///< Merged, sorted, deduped after mark.
   std::vector<MoveRun> Runs;

@@ -22,6 +22,14 @@
 /// to big tenured heaps and makes the adaptive SSB→card hybrid barrier
 /// worthwhile.
 ///
+/// Cards are deliberately NOT the channel for the pause-budget mode's
+/// snapshot-at-the-beginning barrier: a dirty card records *where* a store
+/// happened (for the next minor's old→young scan), but the deletion
+/// barrier needs the *severed old value* at the moment of the overwrite —
+/// by the time a card sweep revisits the slot, the snapshot edge is gone.
+/// satbRecord is its own dedup'd value buffer on the write path, live only
+/// while an incremental cycle is marking.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TILGC_HEAP_CARDTABLE_H

@@ -47,6 +47,14 @@ public:
   /// parallel evacuator relies on exactly one marker winning.
   bool mark(Word *Payload);
 
+  /// Whether the object at \p Payload currently carries a mark bit (the
+  /// pause-budget mode's SATB filter and tricolor audit read mid-cycle mark
+  /// state; outside a marking window every bit is clear).
+  bool isMarked(const Word *Payload) const {
+    auto It = Index.find(Payload);
+    return It != Index.end() && Objects[It->second].Marked;
+  }
+
   /// Frees every unmarked object and clears mark bits.
   /// Invokes \p OnDead(Payload, Descriptor) for each freed object before it
   /// is released (the profiler records deaths here).

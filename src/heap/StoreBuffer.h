@@ -54,6 +54,10 @@ public:
   /// decays geometrically once the flood subsides. Duplicate-keeping
   /// semantics are unchanged — this touches only the backing allocation.
   void clear() {
+    if (ShrinkDisabled) {
+      Entries.clear();
+      return;
+    }
     bool LowFill = Entries.capacity() > ShrinkFloorEntries &&
                    Entries.size() < Entries.capacity() / 4;
     Entries.clear();
@@ -89,11 +93,40 @@ public:
   /// Updates" column).
   uint64_t totalRecorded() const { return TotalRecorded; }
 
+  /// Latches the shrink heuristic off. The Hybrid barrier calls this at its
+  /// sticky SSB->card switch: the buffer will never refill past that point,
+  /// so every later clear() would count as a low-fill clear and the policy
+  /// would churn the capacity of a permanently idle buffer.
+  void disableShrink() { ShrinkDisabled = true; }
+
 private:
   std::vector<Word *> Entries;
   uint64_t TotalRecorded = 0;
   uint64_t ShrinkCount = 0;
   unsigned LowFillClears = 0;
+  bool ShrinkDisabled = false;
+};
+
+/// SATB (snapshot-at-the-beginning) deletion buffer for the incremental
+/// major-mark mode: while incremental marking is live, the write barrier
+/// records the OLD pointer value of every overwritten slot, so an edge
+/// that existed in the marking snapshot can never be hidden from the
+/// tracer by a mutator store (no black-to-white-unrecorded edge survives a
+/// slice boundary). Values, not slots: the slot's new content is covered
+/// by root re-scanning at cycle finish.
+class SatbBuffer {
+public:
+  void record(Word OldBits) { Values.push_back(OldBits); }
+
+  bool empty() const { return Values.empty(); }
+  size_t size() const { return Values.size(); }
+  const std::vector<Word> &values() const { return Values; }
+
+  void clear() { Values.clear(); }
+  void reserve(size_t NumValues) { Values.reserve(NumValues); }
+
+private:
+  std::vector<Word> Values;
 };
 
 } // namespace tilgc

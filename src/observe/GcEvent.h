@@ -65,8 +65,10 @@ enum class GcPhase : uint8_t {
   SafepointWait, ///< Multi-mutator runtime: time the collecting thread
                  ///< spent waiting for every other mutator to park at its
                  ///< allocation poll. Always zero in single-mutator mode.
+  IncrementalMark, ///< Pause-budget mode: one bounded mark slice (or the
+                   ///< marking portion of the cycle-finishing collection).
 };
-inline constexpr unsigned NumGcPhases = 10;
+inline constexpr unsigned NumGcPhases = 11;
 
 /// Display name of a phase (trace export, reports).
 const char *gcPhaseName(GcPhase P);

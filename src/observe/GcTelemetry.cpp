@@ -32,6 +32,8 @@ const char *gcPhaseName(GcPhase P) {
     return "compact";
   case GcPhase::SafepointWait:
     return "safepoint-wait";
+  case GcPhase::IncrementalMark:
+    return "incremental-mark";
   }
   return "?";
 }

@@ -66,6 +66,15 @@ public:
       Rank = 1;
     if (Rank > Count)
       Rank = Count;
+    // The rank-1 sample IS the tracked minimum and the rank-Count sample IS
+    // the tracked maximum; both are exact, so never widen them to a bucket
+    // edge. This is what keeps a single-sample histogram (the common "one
+    // major ran" bench case) reporting the sample itself at every quantile
+    // instead of its bucket's upper edge.
+    if (Rank <= 1)
+      return minNs();
+    if (Rank >= Count)
+      return maxNs();
     uint64_t Seen = 0;
     for (unsigned B = 0; B < NumBuckets; ++B) {
       Seen += Buckets[B];

@@ -29,6 +29,41 @@ void appendU64(std::string &Out, uint64_t V) {
   Out += Buf;
 }
 
+/// JSON string-body escaping for every non-literal string the trace emits:
+/// user-controlled names (Options::Name), watchdog bark detail text, and
+/// anything else that could carry a quote, backslash, or control byte. A
+/// single unescaped quote in a mutator name makes the whole file unloadable.
+void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
 void appendCommon(std::string &Out, const char *Name, const char *Ph,
                   uint64_t TsNs, unsigned Tid) {
   Out += "{\"name\":\"";
@@ -49,18 +84,28 @@ void appendThreadName(std::string &Out, unsigned Tid, const std::string &Name,
   Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
   appendU64(Out, Tid);
   Out += ",\"args\":{\"name\":\"";
-  Out += Name;
+  appendJsonEscaped(Out, Name);
   Out += "\"}}";
 }
 
 } // namespace
 
-std::string TraceExporter::render(const EventRecorder &R) {
+std::string TraceExporter::render(const EventRecorder &R,
+                                  const std::string &SessionName) {
   std::string Out;
   Out.reserve(4096 + R.size() * 512);
   Out += "{\"traceEvents\":[\n";
 
   bool First = true;
+  // Process naming metadata: the user-supplied session name (Options::Name)
+  // labels the whole process track. User-controlled, so escaped.
+  if (!SessionName.empty()) {
+    First = false;
+    Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"args\":{\"name\":\"";
+    appendJsonEscaped(Out, SessionName);
+    Out += "\"}}";
+  }
   // Track naming metadata: tid 0 is the collector's controlling thread;
   // worker tracks are named lazily below once we know how many exist.
   appendThreadName(Out, 0, "GC", First);
@@ -225,7 +270,12 @@ std::string TraceExporter::render(const EventRecorder &R) {
     appendU64(Out, B.MutatorsParked);
     Out += ",\"mutators_expected\":";
     appendU64(Out, B.MutatorsExpected);
-    Out += "}}";
+    // The free-form diagnostic the supervisor captured at expiry (heap
+    // state, stalled-thread census). It is multi-line text, so it MUST go
+    // through the escaper.
+    Out += ",\"detail\":\"";
+    appendJsonEscaped(Out, B.Detail);
+    Out += "\"}}";
   }
 
   for (unsigned Tid = 1; Tid <= MaxWorkerTid; ++Tid) {
@@ -251,9 +301,9 @@ std::string TraceExporter::render(const EventRecorder &R) {
   return Out;
 }
 
-bool TraceExporter::writeFile(const EventRecorder &R,
-                              const std::string &Path) {
-  std::string Json = render(R);
+bool TraceExporter::writeFile(const EventRecorder &R, const std::string &Path,
+                              const std::string &SessionName) {
+  std::string Json = render(R, SessionName);
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;

@@ -33,12 +33,16 @@ namespace tilgc {
 
 class TraceExporter {
 public:
-  /// Renders \p R as a chrome://tracing JSON string.
-  static std::string render(const EventRecorder &R);
+  /// Renders \p R as a chrome://tracing JSON string. A non-empty
+  /// \p SessionName (typically Options::Name) is emitted as process_name
+  /// metadata; all non-literal strings are JSON-escaped.
+  static std::string render(const EventRecorder &R,
+                            const std::string &SessionName = "");
 
   /// Renders and writes to \p Path. Returns false (and leaves no partial
   /// file behind beyond what the filesystem allows) on I/O failure.
-  static bool writeFile(const EventRecorder &R, const std::string &Path);
+  static bool writeFile(const EventRecorder &R, const std::string &Path,
+                        const std::string &SessionName = "");
 };
 
 } // namespace tilgc

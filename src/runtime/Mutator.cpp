@@ -73,6 +73,7 @@ Mutator::Mutator(const MutatorConfig &Config) : Config(Config) {
     Opts.VerifyReuseInvariant = Config.VerifyReuseInvariant;
     Opts.VerifyHeapAfterGC = Config.VerifyHeapAfterGC;
     Opts.GcThreads = Config.GcThreads;
+    Opts.MaxPauseMicros = Config.MaxPauseMicros;
     Opts.GcDeadlineMicros = Config.GcDeadlineMicros;
     Opts.SafepointDeadlineMicros = Config.SafepointDeadlineMicros;
     Opts.WatchdogEscalation = Config.WatchdogEscalation;
@@ -93,7 +94,7 @@ Mutator::Mutator(Collector &SharedGC, const MutatorConfig &Config)
 
 Mutator::~Mutator() {
   if (Recorder && !TracePath.empty())
-    TraceExporter::writeFile(*Recorder, TracePath);
+    TraceExporter::writeFile(*Recorder, TracePath, Config.Name);
 }
 
 //===----------------------------------------------------------------------===//
@@ -160,12 +161,17 @@ Word *Mutator::refillTlab(size_t NeedWords) {
       FaultInjector::global().shouldFire(FaultPoint::TlabRefillFail))
     return nullptr;
   size_t MaxBytes = 0;
-  Space *S = GC->inlineAllocSpace(MaxBytes);
+  Space *S = GC->tlabAllocSpace(MaxBytes);
   if (TILGC_UNLIKELY(!S))
     return nullptr;
+  // Pause-budget cycle live: shrink the grant so refills (the group-mode
+  // slice safepoints) come ~8x as often — a full-size grant would quantize
+  // the slice schedule to ~32 checks per nursery epoch and let arbitrarily
+  // much mark debt pile up between them.
+  size_t GrantWords = GC->satbLive() ? TlabWords / 8 : TlabWords;
   Word *Begin = nullptr;
   Word *End = nullptr;
-  if (!S->allocateBlock(NeedWords, std::max(NeedWords, TlabWords), Begin, End))
+  if (!S->allocateBlock(NeedWords, std::max(NeedWords, GrantWords), Begin, End))
     return nullptr;
   TlabSpace = S;
   TlabNext = Begin;

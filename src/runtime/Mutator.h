@@ -112,6 +112,14 @@ struct MutatorConfig {
   /// Evacuation threads: 1 = the serial engine (bit-identical paper
   /// reproduction); >1 = the work-stealing ParallelEvacuator.
   unsigned GcThreads = 1;
+  /// Pause-budget SLO in microseconds; 0 = stock stop-the-world majors
+  /// (bit-identical to builds without the feature). When set (generational
+  /// + MarkCompact only), major collections run as an incremental cycle:
+  /// the mark phase is sliced into increments budgeted against this value
+  /// and scheduled at allocation safepoints, with an SATB deletion barrier
+  /// keeping the snapshot sound; only the finishing compaction stays
+  /// stop-the-world. See GenerationalCollector::Options::MaxPauseMicros.
+  uint64_t MaxPauseMicros = 0;
   /// GC-cycle watchdog deadline in microseconds; 0 = disarmed (free on
   /// every path). Generational only. See GenerationalCollector::Options.
   uint64_t GcDeadlineMicros = 0;
@@ -233,6 +241,16 @@ public:
     assert(!Obj.isNull() && I < header::length(descriptorOf(Obj.asPtr())) &&
            "field index out of range");
     Word *Slot = &Obj.asPtr()[I];
+    // Pause-budget SATB deletion barrier: while an incremental mark is
+    // live, the value being *overwritten* is a snapshot edge and must be
+    // recorded before the store clobbers it. satbLive() is a single
+    // predicted-false load outside a cycle.
+    if (IsPointerField && TILGC_UNLIKELY(GC->satbLive())) {
+      if (TILGC_UNLIKELY(Group != nullptr))
+        LocalSatb.push_back(*Slot); // replayed at the next safepoint merge
+      else
+        GC->satbRecord(*Slot);
+    }
     *Slot = V.bits();
     if (IsPointerField) {
       ++NumPointerUpdates;
@@ -436,6 +454,11 @@ private:
   /// Thread-local store buffer: pointer-store slots recorded here and
   /// replayed through the collector's real write barrier at safepoints.
   std::vector<Word *> LocalSSB;
+  /// Thread-local SATB buffer (pause-budget mode): overwritten pointer
+  /// values captured while an incremental mark is live, replayed through
+  /// Collector::satbRecord at the next safepoint merge — before any
+  /// collection work moves objects or advances the mark.
+  std::vector<Word> LocalSatb;
   LocalAlloc LocalStats;
   /// Shared-counter snapshot from the last safepoint merge; birth stamps in
   /// TLAB allocations are (SharedBytesAtMerge + local bytes) >> 10, which

@@ -125,6 +125,12 @@ void MutatorGroup::mergeAtSafepoint() {
     for (Word *Slot : M.LocalSSB)
       C.writeBarrier(Slot);
     M.LocalSSB.clear();
+    // Pause-budget SATB backlog: replayed with the world stopped, before
+    // the stopped operation can run a slice or finish the cycle — so every
+    // overwritten snapshot edge is seeded ahead of any mark advance.
+    for (Word OldBits : M.LocalSatb)
+      C.satbRecord(OldBits);
+    M.LocalSatb.clear();
     S.BytesAllocated += M.LocalStats.BytesAllocated;
     S.ObjectsAllocated += M.LocalStats.ObjectsAllocated;
     S.RecordBytesAllocated += M.LocalStats.RecordBytesAllocated;

@@ -32,6 +32,14 @@
 /// flag itself can be relaxed: a thread that misses it simply parks at a
 /// later poll, and the owner waits exactly until it does.
 ///
+/// Pause-budget incremental slices (Options::MaxPauseMicros) ride the
+/// same protocol: a mark slice is a (short) stopped-world operation run
+/// from the allocation slow path, so the recorded pause of any group-mode
+/// collection — slice or full — includes the rendezvous wait, i.e. the
+/// time-to-safepoint of the slowest running thread. That component is
+/// bounded by poll density, not by the budget; bench/pause_budget gates
+/// the SLO on the single-mutator configuration for exactly this reason.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TILGC_RUNTIME_SAFEPOINT_H

@@ -124,6 +124,13 @@ public:
   /// Total barks dispatched (tests / diagnostics). Relaxed.
   uint64_t barks() const { return NumBarks.load(std::memory_order_relaxed); }
 
+  /// Whether a supervised window is currently open (tests / diagnostics:
+  /// the incremental-cycle tests assert the one-arm-per-cycle discipline).
+  bool armed() const {
+    std::lock_guard<std::mutex> L(const_cast<std::mutex &>(M));
+    return ArmedNow;
+  }
+
   /// True after a bark under WatchdogPolicy::Recover (or stricter) until
   /// cleared. Cooperative abort points poll this through recoverFlag().
   bool recoverRequested() const {

@@ -157,6 +157,36 @@ TEST(PauseHistogramTest, MergeCombinesCountsAndExtremes) {
   EXPECT_EQ(A.sumNs(), 100u + 200u + 50u + (1u << 30));
 }
 
+TEST(PauseHistogramTest, RankEdgesReportExactExtremes) {
+  // Regression: percentileNs used to widen the rank-1 and rank-Count
+  // samples to their bucket's inclusive upper edge, so p50 of {512, 2048}
+  // came back 1023 and p100 came back 4095 — a bench comparing "p99 <=
+  // budget" would then fail on runs that were actually inside budget.
+  PauseHistogram H;
+  H.record(512);
+  H.record(2048);
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.p50Ns(), 512u);                // rank 1 == tracked min, exact
+  EXPECT_EQ(H.p99Ns(), 2048u);               // rank Count == tracked max
+  EXPECT_EQ(H.percentileNs(1.0), 2048u);
+  // The common bench shape — one major ran — must report the sample
+  // itself at every quantile, not its bucket edge.
+  PauseHistogram One;
+  One.record(777777);
+  EXPECT_EQ(One.p50Ns(), 777777u);
+  EXPECT_EQ(One.p90Ns(), 777777u);
+  EXPECT_EQ(One.p99Ns(), 777777u);
+  // Interior ranks still estimate via bucket edges (2x resolution).
+  PauseHistogram M;
+  for (int I = 0; I < 10; ++I)
+    M.record(1000);
+  M.record(5000);
+  M.record(900000);
+  EXPECT_GE(M.p50Ns(), 1000u);
+  EXPECT_LT(M.p50Ns(), 2048u);
+  EXPECT_EQ(M.percentileNs(1.0), 900000u);
+}
+
 //===----------------------------------------------------------------------===//
 // StoreBuffer shrink policy.
 //===----------------------------------------------------------------------===//
@@ -216,6 +246,28 @@ TEST(StoreBufferShrink, HighFillNeverShrinks) {
   }
   EXPECT_EQ(SSB.capacityEntries(), Cap);
   EXPECT_EQ(SSB.shrinks(), 0u);
+}
+
+TEST(StoreBufferShrink, DisableShrinkLatchesOffDecay) {
+  // Regression: after the hybrid barrier switches to card marking the SSB
+  // is drained once per minor and then sits near-empty forever, which the
+  // decay policy read as "quiet epochs" — it kept halving a buffer that
+  // the next flood-shaped phase would have to regrow while switched. The
+  // switch now latches shrinking off; quiet clears must not decay it.
+  StoreBuffer SSB;
+  Word Dummy = 0;
+  for (int I = 0; I < 200000; ++I)
+    SSB.record(&Dummy);
+  SSB.clear();
+  size_t FloodCap = SSB.capacityEntries();
+  SSB.disableShrink();
+  for (unsigned C = 0; C < StoreBuffer::ShrinkAfterClears * 4; ++C) {
+    for (int I = 0; I < 4; ++I)
+      SSB.record(&Dummy);
+    SSB.clear();
+  }
+  EXPECT_EQ(SSB.shrinks(), 0u) << "latched-off buffer still decayed";
+  EXPECT_EQ(SSB.capacityEntries(), FloodCap);
 }
 
 //===----------------------------------------------------------------------===//
@@ -890,6 +942,36 @@ TEST(TraceExport, SupervisionPinsFailoverBitAndWatchdogInstants) {
       << "an expired deadline must export an instant event";
   EXPECT_NE(Json.find("\"kind\":\"gc-cycle\""), std::string::npos);
   EXPECT_NE(Json.find("\"deadline_us\":2000"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesBarkDetailAndNamesProcess) {
+  // Regression: the exporter spliced WatchdogBark::Detail — multi-line
+  // free-form text with embedded quotes from the heap-state dump — into
+  // the JSON verbatim, so any bark with a quote or control character
+  // produced a file chrome://tracing refused to load. It also dropped the
+  // session name, leaving every trace labeled as an anonymous process.
+  EventRecorder Rec;
+  WatchdogBark B;
+  B.What = WatchdogBark::Kind::GcCycle;
+  B.Seq = 7;
+  B.DeadlineMicros = 1000;
+  B.ElapsedMicros = 2500;
+  B.WhenNs = 42;
+  B.Detail = "heap \"state\":\n\ttenured=3\\4 used\x01";
+  Rec.onWatchdogBark(B);
+
+  std::string Json = TraceExporter::render(Rec, "bench \"run\" #1");
+  JsonChecker Checker(Json);
+  EXPECT_TRUE(Checker.valid()) << Json.substr(0, 400);
+  // Quotes, backslashes and C0 controls arrive escaped, never raw.
+  EXPECT_NE(Json.find("heap \\\"state\\\":"), std::string::npos);
+  EXPECT_NE(Json.find("\\n\\ttenured=3\\\\4"), std::string::npos);
+  EXPECT_NE(Json.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json.find('\x01'), std::string::npos)
+      << "raw control byte leaked into the trace";
+  // The session name labels the process track, escaped like any string.
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("bench \\\"run\\\" #1"), std::string::npos);
 }
 
 TEST(TraceExport, SerialTraceHasNoWorkerTracks) {
